@@ -1,0 +1,41 @@
+// Command redshift-bench regenerates every figure, table and ablation from
+// the paper's evaluation (see DESIGN.md's experiment index) and prints the
+// paper's claim next to this system's measurement.
+//
+// Usage:
+//
+//	redshift-bench             # run everything at full scale
+//	redshift-bench -quick      # small data sizes (seconds, used by CI)
+//	redshift-bench -exp T1     # one experiment (F1,F2,F4,F5,T1,T2,T3,A1..A8)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"redshift/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink data sizes for a fast run")
+	exp := flag.String("exp", "", "run a single experiment by ID")
+	flag.Parse()
+
+	start := time.Now()
+	if *exp != "" {
+		t, err := bench.ByID(*exp, *quick)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Print(t.String())
+		return
+	}
+	for _, t := range bench.All(*quick) {
+		fmt.Print(t.String())
+		fmt.Println()
+	}
+	fmt.Printf("total: %s\n", time.Since(start).Round(time.Millisecond))
+}

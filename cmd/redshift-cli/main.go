@@ -1,0 +1,125 @@
+// Command redshift-cli is an interactive SQL shell against a
+// redshift-server leader node.
+//
+// Usage:
+//
+//	redshift-cli -addr 127.0.0.1:5439
+//	echo "SELECT COUNT(*) FROM sales" | redshift-cli -addr ...
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"redshift/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:5439", "server address")
+	flag.Parse()
+
+	client, err := wire.Dial(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "connect: %v\n", err)
+		os.Exit(1)
+	}
+	defer client.Close()
+
+	interactive := isTerminal()
+	if interactive {
+		fmt.Println("redshift-cli: connected. End statements with ';'. \\q quits.")
+	}
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if !interactive {
+			return
+		}
+		if buf.Len() == 0 {
+			fmt.Print("redshift=> ")
+		} else {
+			fmt.Print("redshift-> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && (trimmed == "\\q" || trimmed == "quit" || trimmed == "exit") {
+			return
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			run(client, buf.String())
+			buf.Reset()
+		}
+		prompt()
+	}
+	if buf.Len() > 0 {
+		run(client, buf.String())
+	}
+}
+
+func run(client *wire.Client, query string) {
+	query = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(query), ";"))
+	if query == "" {
+		return
+	}
+	resp, err := client.Query(query)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "connection error: %v\n", err)
+		os.Exit(1)
+	}
+	if resp.Error != "" {
+		fmt.Printf("ERROR: %s\n", resp.Error)
+		return
+	}
+	if resp.Message != "" {
+		fmt.Println(resp.Message)
+		return
+	}
+	printTable(resp)
+	fmt.Printf("(%d rows, %.1f ms)\n", len(resp.Rows), resp.ExecMillis)
+}
+
+// printTable renders an aligned text table.
+func printTable(resp *wire.Response) {
+	widths := make([]int, len(resp.Columns))
+	for i, c := range resp.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range resp.Rows {
+		for i, v := range row {
+			if len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	line := func(vals []string) {
+		parts := make([]string, len(vals))
+		for i, v := range vals {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], v)
+		}
+		fmt.Println(" " + strings.Join(parts, " | "))
+	}
+	line(resp.Columns)
+	seps := make([]string, len(widths))
+	for i, w := range widths {
+		seps[i] = strings.Repeat("-", w)
+	}
+	fmt.Println(" " + strings.Join(seps, "-+-"))
+	for _, row := range resp.Rows {
+		line(row)
+	}
+}
+
+// isTerminal reports whether stdin looks interactive.
+func isTerminal() bool {
+	info, err := os.Stdin.Stat()
+	return err == nil && info.Mode()&os.ModeCharDevice != 0
+}

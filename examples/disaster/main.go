@@ -1,0 +1,98 @@
+// Disaster recovery: §2.2/§3.2 end to end — incremental backups, the
+// Friday-delete/Monday-restore pattern ("a meaningful percentage of Amazon
+// Redshift customers delete their clusters every Friday and restore from
+// backup each Monday"), streaming restore with page faults, node-failure
+// masking, and the second-region checkbox.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"redshift"
+	"redshift/internal/sim"
+)
+
+func main() {
+	wh, err := redshift.Launch(redshift.Options{
+		Nodes:            2,
+		BlockCap:         1024,
+		DisasterRecovery: true, // the §3.2 checkbox
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wh.MustExecute(`CREATE TABLE ledger (
+		day BIGINT NOT NULL, account BIGINT, amount DOUBLE PRECISION
+	) COMPOUND SORTKEY(day)`)
+	var b strings.Builder
+	for i := 0; i < 300_000; i++ {
+		fmt.Fprintf(&b, "%d|%d|%.2f\n", i/1000, i%5000, float64(i%997)/7)
+	}
+	must(wh.PutObject("lake/ledger/a.csv", []byte(b.String())))
+	wh.MustExecute(`COPY ledger FROM 's3://lake/ledger/'`)
+	checksum := wh.MustExecute(`SELECT COUNT(*), SUM(amount) FROM ledger`).Rows[0]
+	fmt.Printf("loaded: %s rows, sum %s\n", checksum[0], checksum[1])
+
+	// Friday: back up (continuous + incremental in the real system).
+	id, stats, err := wh.Backup()
+	must(err)
+	fmt.Printf("backup %s: %d blocks, %d uploaded (incremental dedup)\n",
+		id, stats.BlocksTotal, stats.BlocksUploaded)
+
+	// A second backup after a tiny change uploads almost nothing.
+	wh.MustExecute(`INSERT INTO ledger VALUES (999, 1, 1.0)`)
+	id2, stats2, err := wh.Backup()
+	must(err)
+	fmt.Printf("backup %s: %d blocks, only %d uploaded\n", id2, stats2.BlocksTotal, stats2.BlocksUploaded)
+
+	// Make S3 reads cost real time so streaming restore is visible.
+	wh.BackupStore().WithDelays(sim.Wall{}, 2*time.Millisecond, 200)
+
+	// Monday: restore onto a brand-new (smaller) cluster. The database is
+	// open for SQL the moment metadata is back.
+	start := time.Now()
+	must(wh.Restore(id2, 1))
+	openAt := time.Since(start)
+	first := wh.MustExecute(`SELECT COUNT(*) FROM ledger WHERE day < 20`) // working set
+	firstAt := time.Since(start)
+	fetched, err := wh.FinishRestore(8)
+	must(err)
+	fullAt := time.Since(start)
+	fmt.Printf("\nstreaming restore to a 1-node cluster:\n")
+	fmt.Printf("  open for SQL after      %8v\n", openAt.Round(time.Millisecond))
+	fmt.Printf("  first report after      %8v (%s rows, page-faulted the working set)\n",
+		firstAt.Round(time.Millisecond), first.Rows[0][0])
+	fmt.Printf("  fully local after       %8v (%d blocks fetched in background)\n",
+		fullAt.Round(time.Millisecond), fetched)
+
+	verify := wh.MustExecute(`SELECT COUNT(*), SUM(amount) FROM ledger`).Rows[0]
+	fmt.Printf("  checksum after restore: %s rows, sum %s (+1 inserted row)\n", verify[0], verify[1])
+
+	// Node failure: reads keep working off replicas ("media failures
+	// transparent"), then the replacement workflow rebuilds the node.
+	wh2, err := redshift.Launch(redshift.Options{Nodes: 2, BlockCap: 1024})
+	must(err)
+	wh2.MustExecute(`CREATE TABLE t (k BIGINT, v BIGINT)`)
+	var tb strings.Builder
+	for i := 0; i < 100_000; i++ {
+		fmt.Fprintf(&tb, "%d|%d\n", i, i)
+	}
+	must(wh2.PutObject("t/a.csv", []byte(tb.String())))
+	wh2.MustExecute(`COPY t FROM 't/'`)
+	before := wh2.MustExecute(`SELECT SUM(v) FROM t`).Rows[0][0]
+	wh2.FailNode(1)
+	after := wh2.MustExecute(`SELECT SUM(v) FROM t`).Rows[0][0]
+	fmt.Printf("\nnode 1 failed: query answer unchanged (%s = %s)\n", before, after)
+	blocks, bytes, err := wh2.ReplaceNode(1)
+	must(err)
+	fmt.Printf("node replaced: %d blocks rebuilt from the cohort peer (%d bytes)\n", blocks, bytes)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

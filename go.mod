@@ -1,0 +1,3 @@
+module redshift
+
+go 1.22

@@ -1,0 +1,130 @@
+// Package bench implements the reproduction harness: one function per
+// figure, table and ablation in DESIGN.md's experiment index. Each returns
+// a Table pairing the paper's claim with this system's measurement so
+// cmd/redshift-bench and the top-level benchmarks print identical reports.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is one experiment's report.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, v := range row {
+			if i < len(widths) && len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	line := func(vals []string) {
+		parts := make([]string, len(vals))
+		for i, v := range vals {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, v)
+		}
+		b.WriteString("  " + strings.TrimRight(strings.Join(parts, "  "), " ") + "\n")
+	}
+	line(t.Header)
+	seps := make([]string, len(widths))
+	for i, w := range widths {
+		seps[i] = strings.Repeat("-", w)
+	}
+	line(seps)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// All returns every experiment in index order. Quick mode shrinks data
+// sizes so the whole suite runs in seconds (used by tests).
+func All(quick bool) []Table {
+	return []Table{
+		Figure1(),
+		Figure2(),
+		Figure4(),
+		Figure5(),
+		Table1EDW(quick),
+		Table2Provisioning(),
+		Table3StreamingRestore(quick),
+		AblationCompression(quick),
+		AblationZoneMaps(quick),
+		AblationZOrder(quick),
+		AblationCompilation(quick),
+		AblationDistribution(quick),
+		AblationCohorts(quick),
+		AblationResize(quick),
+		AblationApproximate(quick),
+	}
+}
+
+// ByID returns one experiment by its index ID (F1..F5, T1..T3, A1..A8).
+func ByID(id string, quick bool) (Table, error) {
+	fns := map[string]func() Table{
+		"F1": Figure1,
+		"F2": Figure2,
+		"F4": Figure4,
+		"F5": Figure5,
+		"T1": func() Table { return Table1EDW(quick) },
+		"T2": Table2Provisioning,
+		"T3": func() Table { return Table3StreamingRestore(quick) },
+		"A1": func() Table { return AblationCompression(quick) },
+		"A2": func() Table { return AblationZoneMaps(quick) },
+		"A3": func() Table { return AblationZOrder(quick) },
+		"A4": func() Table { return AblationCompilation(quick) },
+		"A5": func() Table { return AblationDistribution(quick) },
+		"A6": func() Table { return AblationCohorts(quick) },
+		"A7": func() Table { return AblationResize(quick) },
+		"A8": func() Table { return AblationApproximate(quick) },
+	}
+	fn, ok := fns[strings.ToUpper(id)]
+	if !ok {
+		return Table{}, fmt.Errorf("bench: unknown experiment %q (F1,F2,F4,F5,T1,T2,T3,A1..A8)", id)
+	}
+	return fn(), nil
+}
+
+// helpers shared by the experiment files
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func i64(v int64) string  { return fmt.Sprintf("%d", v) }
+func dur(d time.Duration) string {
+	switch {
+	case d >= time.Hour:
+		return fmt.Sprintf("%.1fh", d.Hours())
+	case d >= time.Minute:
+		return fmt.Sprintf("%.1fm", d.Minutes())
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}

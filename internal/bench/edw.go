@@ -1,0 +1,340 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"redshift"
+	"redshift/internal/mapred"
+	"redshift/internal/rowstore"
+	"redshift/internal/sim"
+	"redshift/internal/types"
+)
+
+// edwScale sizes the §1 case-study scale model. The paper's ratio is
+// 2 trillion clicks to 6 billion products (333:1); the model keeps the
+// ratio at laptop size.
+type edwScale struct {
+	clicks   int
+	products int
+	loadRows int
+}
+
+func newEDWScale(quick bool) edwScale {
+	if quick {
+		return edwScale{clicks: 60_000, products: 600, loadRows: 30_000}
+	}
+	return edwScale{clicks: 2_000_000, products: 6_000, loadRows: 500_000}
+}
+
+// clicksCSV renders n click rows (ts|product_id|user_id).
+func clicksCSV(n, products int) string {
+	var b strings.Builder
+	b.Grow(n * 24)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%d|%d|%d\n", 1_000_000+i, i%products, i%97)
+	}
+	return b.String()
+}
+
+// Table1EDW reproduces the §1 Amazon EDW case study at scale-model size and
+// extrapolates with the calibrated cost model.
+func Table1EDW(quick bool) Table {
+	sc := newEDWScale(quick)
+	t := Table{
+		ID:    "T1",
+		Title: "§1 Amazon EDW case study (scale model + extrapolation)",
+		Header: []string{
+			"operation", "paper_claim", "measured_here", "extrapolated_paper_scale",
+		},
+	}
+
+	wh, err := redshift.Launch(redshift.Options{Nodes: 4, SlicesPerNode: 2})
+	if err != nil {
+		panic(err)
+	}
+	wh.MustExecute(`CREATE TABLE clicks (ts BIGINT NOT NULL, product_id BIGINT, user_id BIGINT)
+		DISTSTYLE KEY DISTKEY(product_id) COMPOUND SORTKEY(ts)`)
+	wh.MustExecute(`CREATE TABLE products (id BIGINT NOT NULL, category VARCHAR(16))
+		DISTSTYLE KEY DISTKEY(id)`)
+
+	// --- Daily load (paper: 5B rows in 10 minutes) ---
+	loadCSV := clicksCSV(sc.loadRows, sc.products)
+	if err := wh.PutObject("edw/load/a.csv", []byte(loadCSV)); err != nil {
+		panic(err)
+	}
+	start := time.Now()
+	wh.MustExecute(`COPY clicks FROM 's3://edw/load/'`)
+	loadDur := time.Since(start)
+	rowsPerSec := float64(sc.loadRows) / loadDur.Seconds()
+	slices := 8.0
+	perSlice := rowsPerSec / slices
+	// Extrapolation: the paper's cluster has ~100 nodes × 8 slices loading
+	// ~400-byte rows from S3 vs our ~24-byte rows in memory; correct per
+	// row width and apply the paper's slice count.
+	widthCorrection := 24.0 / 400.0
+	paperSlices := 800.0
+	extrapLoad := time.Duration(5e9 / (paperSlices * perSlice * widthCorrection) * float64(time.Second))
+	t.Rows = append(t.Rows, []string{
+		"daily load 5B rows", "10 min",
+		fmt.Sprintf("%s rows in %s (%.0f rows/s/slice)", human(int64(sc.loadRows)), dur(loadDur), perSlice),
+		dur(extrapLoad),
+	})
+
+	// --- Backfill (paper: 150B rows in 9.75h) — same pipeline, 30x load ---
+	extrapBackfill := time.Duration(150e9 / (paperSlices * perSlice * widthCorrection) * float64(time.Second))
+	t.Rows = append(t.Rows, []string{
+		"backfill 150B rows", "9.75 h", "(same pipeline ×30)", dur(extrapBackfill),
+	})
+
+	// --- The headline join (paper: 2T clicks ⋈ 6B products < 14 min,
+	//     did not complete in over a week on the prior system) ---
+	mainCSV := clicksCSV(sc.clicks, sc.products)
+	var prodCSV strings.Builder
+	cats := []string{"books", "music", "toys"}
+	for i := 0; i < sc.products; i++ {
+		fmt.Fprintf(&prodCSV, "%d|%s\n", i, cats[i%3])
+	}
+	wh.MustExecute(`TRUNCATE clicks`)
+	if err := wh.PutObject("edw/clicks/a.csv", []byte(mainCSV)); err != nil {
+		panic(err)
+	}
+	if err := wh.PutObject("edw/products/a.csv", []byte(prodCSV.String())); err != nil {
+		panic(err)
+	}
+	wh.MustExecute(`COPY clicks FROM 's3://edw/clicks/'`)
+	wh.MustExecute(`COPY products FROM 's3://edw/products/'`)
+
+	joinSQL := `SELECT p.category, COUNT(*) AS n FROM clicks c JOIN products p ON c.product_id = p.id GROUP BY p.category`
+	start = time.Now()
+	res := wh.MustExecute(joinSQL)
+	mppDur := time.Since(start)
+	var joined int64
+	for _, r := range res.Rows {
+		joined += r[1].I
+	}
+	if joined != int64(sc.clicks) {
+		panic(fmt.Sprintf("bench: join produced %d of %d rows", joined, sc.clicks))
+	}
+
+	// Baseline 1: single-process row store (the prior system's shape).
+	rowDur := edwRowstore(sc)
+	// Baseline 2: MapReduce over raw text (the Hadoop alternative).
+	mrDur, mrOverhead := edwMapred(wh, sc)
+
+	// At paper scale the gap is dominated by disk I/O volume, which the
+	// in-RAM scale model cannot show: the columnar engine reads 2 needed
+	// columns compressed; the row store reads every 400-byte row, and its
+	// build side no longer fits in memory.
+	const (
+		paperClicks   = 2e12
+		paperRowBytes = 400.0
+		mppDiskBps    = 100 * 800e6 // 100 nodes × 800 MB/s
+		smpDiskBps    = 3e9         // one large 2013 SMP box, striped
+	)
+	mppBytes := paperClicks * 16 / 3.0 // 2 int64 columns, 3x compression
+	mppScan := time.Duration(mppBytes / mppDiskBps * float64(time.Second))
+	mppCPU := time.Duration(paperClicks / (800 * 2.5e6) * float64(time.Second))
+	mppTotal := mppScan + mppCPU
+	rowBytes := paperClicks * paperRowBytes
+	rowScan := time.Duration(rowBytes / smpDiskBps * float64(time.Second))
+	rowTotal := 3 * rowScan // build side spills: multiple passes
+
+	t.Rows = append(t.Rows, []string{
+		fmt.Sprintf("join %s clicks ⋈ %s products (columnar MPP)", human(int64(sc.clicks)), human(int64(sc.products))),
+		"< 14 min", dur(mppDur), dur(mppTotal),
+	})
+	t.Rows = append(t.Rows, []string{
+		"same join, row-store baseline", "> 1 week (did not complete)",
+		fmt.Sprintf("%s (%.1fx slower)", dur(rowDur), float64(rowDur)/float64(mppDur)),
+		fmt.Sprintf("%s (≥3 spill passes)", dur(rowTotal)),
+	})
+	t.Rows = append(t.Rows, []string{
+		"same join, MapReduce baseline", "1 month of data per hour",
+		fmt.Sprintf("%s + %s job overhead (%.1fx slower)", dur(mrDur), dur(mrOverhead),
+			float64(mrDur+mrOverhead)/float64(mppDur)), "reparses raw text each run",
+	})
+
+	// --- Backup / restore (paper: backup 30 min, restore to new cluster 48h) ---
+	// The paper's absolute numbers imply ~10-15 MB/s effective per-node S3
+	// throughput in 2013 (multipart upload limits, encryption and
+	// compression CPU, and throttling to protect foreground queries); the
+	// general cost model's 400 MB/s is the unthrottled 10 GbE path.
+	model := sim.Default2013()
+	const effectiveS3MBps = 12.0
+	compressed := int64(2e12 / model.CompressionRatio) // daily 2TB raw
+	backupSim := time.Duration(float64(compressed/100) / (effectiveS3MBps * 1e6) * float64(time.Second))
+	fullData := int64(300e12 / model.CompressionRatio) // ~15 months of log
+	restoreSim := time.Duration(float64(fullData/100) / (effectiveS3MBps * 1e6) * float64(time.Second))
+	t.Rows = append(t.Rows, []string{
+		"backup (daily increment)", "30 min", "(simulated)", dur(backupSim),
+	})
+	t.Rows = append(t.Rows, []string{
+		"full restore to new cluster", "48 h", "(simulated)", dur(restoreSim),
+	})
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("scale model: %s clicks, %s products on 4 nodes × 2 slices; paper ratio 333:1 preserved",
+			human(int64(sc.clicks)), human(int64(sc.products))),
+		"extrapolation: measured per-slice rate × 800 slices × (24B/400B row-width correction)",
+		"join at paper scale is I/O-bound: columnar reads 2 compressed columns (~10.7 TB over 80 GB/s);",
+		"the row store reads full 400 B rows (800 TB over one box's 3 GB/s) and spills its build side",
+		"backup/restore simulated at 100 nodes, 12 MB/s effective per-node S3 (2013, throttled); shape: both ∝ per-node bytes",
+	)
+	return t
+}
+
+// edwRowstore runs the same join+aggregate on the single-process row store.
+func edwRowstore(sc edwScale) time.Duration {
+	db := rowstore.New()
+	clicks, _ := db.Create("clicks", types.NewSchema(
+		types.Column{Name: "ts", Type: types.Int64},
+		types.Column{Name: "product_id", Type: types.Int64},
+		types.Column{Name: "user_id", Type: types.Int64},
+	))
+	products, _ := db.Create("products", types.NewSchema(
+		types.Column{Name: "id", Type: types.Int64},
+		types.Column{Name: "category", Type: types.String},
+	))
+	cats := []string{"books", "music", "toys"}
+	for i := 0; i < sc.clicks; i++ {
+		clicks.Insert(types.Row{types.NewInt(int64(1_000_000 + i)), types.NewInt(int64(i % sc.products)), types.NewInt(int64(i % 97))})
+	}
+	for i := 0; i < sc.products; i++ {
+		products.Insert(types.Row{types.NewInt(int64(i)), types.NewString(cats[i%3])})
+	}
+	start := time.Now()
+	counts := map[string]int64{}
+	clicks.HashJoin(products, 1, 0, func(r types.Row) {
+		counts[r[4].S]++
+	})
+	_ = counts
+	return time.Since(start)
+}
+
+// edwMapred runs the join as a two-job MapReduce chain over the raw CSVs
+// already sitting in the warehouse's data lake.
+func edwMapred(wh *redshift.Warehouse, sc edwScale) (time.Duration, time.Duration) {
+	store := wh.DataLake()
+	// Load the products side into memory (map-side join, the HIVE common
+	// case for a small dimension).
+	prodLines, _, err := mapred.Run(store, "edw/products/", mapred.Job{
+		Map: func(line string, emit func(k, v string)) {
+			emit(strings.SplitN(line, "|", 2)[0], strings.SplitN(line, "|", 2)[1])
+		},
+		Reduce: func(k string, vs []string, emit func(string)) { emit(k + "|" + vs[0]) },
+	})
+	if err != nil {
+		panic(err)
+	}
+	cat := map[string]string{}
+	for _, l := range prodLines {
+		parts := strings.SplitN(l, "|", 2)
+		cat[parts[0]] = parts[1]
+	}
+	start := time.Now()
+	_, stats, err := mapred.Run(store, "edw/clicks/", mapred.Job{
+		Mappers: 8,
+		Map: func(line string, emit func(k, v string)) {
+			fields := strings.Split(line, "|")
+			if c, ok := cat[fields[1]]; ok {
+				emit(c, "1")
+			}
+		},
+		Reduce: func(k string, vs []string, emit func(string)) {
+			emit(k + "=" + strconv.Itoa(len(vs)))
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return time.Since(start), 2 * stats.StartupOverhead // two chained jobs
+}
+
+// human renders large counts compactly.
+func human(n int64) string {
+	switch {
+	case n >= 1_000_000_000:
+		return fmt.Sprintf("%.1fB", float64(n)/1e9)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1_000:
+		return fmt.Sprintf("%.0fk", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// Table3StreamingRestore measures real time-to-first-query under streaming
+// restore vs a full restore, then scales with the model.
+func Table3StreamingRestore(quick bool) Table {
+	rows := 200_000
+	if quick {
+		rows = 20_000
+	}
+	t := Table{
+		ID:     "T3",
+		Title:  "Streaming restore: time to first query vs full restore (§2.3, §3.2)",
+		Header: []string{"metric", "measured_here", "simulated_2TB_16_nodes"},
+		Notes: []string{
+			"paper: database opens for SQL after metadata restore; blocks page-fault in;",
+			"'performant queries ... in a small fraction of the time required for a full restore'",
+			"working-set query touches ~5% of blocks via zone maps",
+		},
+	}
+	wh, err := redshift.Launch(redshift.Options{Nodes: 2, SlicesPerNode: 2, BlockCap: 512})
+	if err != nil {
+		panic(err)
+	}
+	wh.MustExecute(`CREATE TABLE logs (ts BIGINT NOT NULL, level VARCHAR(8), msg VARCHAR(64))
+		COMPOUND SORTKEY(ts)`)
+	var b strings.Builder
+	levels := []string{"INFO", "WARN", "ERROR"}
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&b, "%d|%s|message-%d\n", i, levels[i%3], i%1000)
+	}
+	wh.PutObject("logs/a.csv", []byte(b.String()))
+	wh.MustExecute(`COPY logs FROM 's3://logs/'`)
+	id, _, err := wh.Backup()
+	if err != nil {
+		panic(err)
+	}
+	// Attach a realistic S3 latency/bandwidth model so page faults and the
+	// background fetch cost real time (2 ms first byte, 200 MB/s).
+	wh.BackupStore().WithDelays(sim.Wall{}, 2*time.Millisecond, 200)
+
+	// Streaming restore: metadata, then one working-set query.
+	start := time.Now()
+	if err := wh.Restore(id, 2); err != nil {
+		panic(err)
+	}
+	metaDur := time.Since(start)
+	hi := rows / 20 // first 5% by sort key
+	start = time.Now()
+	wh.MustExecute(fmt.Sprintf(`SELECT COUNT(*) FROM logs WHERE ts < %d`, hi))
+	firstQuery := time.Since(start)
+
+	// Remaining background fetch = the tail of a full restore.
+	start = time.Now()
+	if _, err := wh.FinishRestore(4); err != nil {
+		panic(err)
+	}
+	backgroundDur := time.Since(start)
+	fullRestore := metaDur + backgroundDur
+
+	model := sim.Default2013()
+	simTotal := int64(2e12)
+	simFull := model.S3Download(simTotal / 16)
+	simFirst := 30*time.Second + model.S3Download(int64(float64(simTotal)*0.05)/16)
+
+	t.Rows = append(t.Rows,
+		[]string{"restore metadata + open for SQL", dur(metaDur), "30.00s"},
+		[]string{"first working-set query (page faults)", dur(firstQuery), dur(simFirst)},
+		[]string{"full restore (all blocks local)", dur(fullRestore), dur(simFull)},
+		[]string{"time-to-first-report fraction",
+			f3(float64(metaDur+firstQuery) / float64(fullRestore)),
+			f3(float64(simFirst) / float64(simFull))},
+	)
+	return t
+}

@@ -1,0 +1,289 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"redshift/internal/compress"
+	"redshift/internal/types"
+)
+
+func clickTable() *TableDef {
+	return &TableDef{
+		Name: "clicks",
+		Columns: []ColumnDef{
+			{Name: "ts", Type: types.Timestamp, Encoding: compress.Delta},
+			{Name: "product_id", Type: types.Int64, Encoding: compress.LZ},
+			{Name: "url", Type: types.String, Encoding: compress.Text},
+		},
+		DistStyle:   DistKey,
+		DistKeyCol:  1,
+		SortStyle:   SortCompound,
+		SortKeyCols: []int{0},
+	}
+}
+
+func TestCreateGetDrop(t *testing.T) {
+	c := New()
+	def := clickTable()
+	if err := c.Create(def); err != nil {
+		t.Fatal(err)
+	}
+	if def.ID != 1 {
+		t.Errorf("ID = %d", def.ID)
+	}
+	got, err := c.Get("CLICKS") // case-insensitive
+	if err != nil || got != def {
+		t.Fatalf("Get: %v %v", got, err)
+	}
+	if got, err := c.GetByID(1); err != nil || got != def {
+		t.Fatalf("GetByID: %v %v", got, err)
+	}
+	if err := c.Create(clickTable()); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if err := c.Drop("clicks"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("clicks"); err == nil {
+		t.Error("Get after Drop succeeded")
+	}
+	if err := c.Drop("clicks"); err == nil {
+		t.Error("double Drop succeeded")
+	}
+}
+
+func TestIDsNotReused(t *testing.T) {
+	c := New()
+	a := clickTable()
+	c.Create(a)
+	c.Drop("clicks")
+	b := clickTable()
+	c.Create(b)
+	if b.ID == a.ID {
+		t.Errorf("table ID %d reused", b.ID)
+	}
+}
+
+func TestValidateRejectsBadDefs(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*TableDef)
+	}{
+		{"no name", func(d *TableDef) { d.Name = "" }},
+		{"no columns", func(d *TableDef) { d.Columns = nil }},
+		{"dup column", func(d *TableDef) { d.Columns[1].Name = "TS" }},
+		{"invalid type", func(d *TableDef) { d.Columns[0].Type = types.Invalid }},
+		{"bad encoding", func(d *TableDef) { d.Columns[2].Encoding = compress.Delta }},
+		{"distkey out of range", func(d *TableDef) { d.DistKeyCol = 99 }},
+		{"distkey without style", func(d *TableDef) { d.DistStyle = DistEven }},
+		{"sortkey out of range", func(d *TableDef) { d.SortKeyCols = []int{-1} }},
+		{"sort style without keys", func(d *TableDef) { d.SortKeyCols = nil }},
+		{"keys without style", func(d *TableDef) { d.SortStyle = SortNone }},
+		{"too many interleaved", func(d *TableDef) {
+			d.SortStyle = SortInterleaved
+			d.SortKeyCols = []int{0, 1, 2, 0, 1, 2, 0, 1, 2}
+		}},
+	}
+	for _, tc := range cases {
+		c := New()
+		def := clickTable()
+		tc.mutate(def)
+		if err := c.Create(def); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestSchemaAndOrdinal(t *testing.T) {
+	def := clickTable()
+	s := def.Schema()
+	if s.Len() != 3 || s.Columns[2].Name != "url" || s.Columns[2].Type != types.String {
+		t.Errorf("Schema = %+v", s)
+	}
+	if def.Ordinal("PRODUCT_ID") != 1 || def.Ordinal("nope") != -1 {
+		t.Error("Ordinal wrong")
+	}
+	encs := def.Encodings()
+	if len(encs) != 3 || encs[0] != compress.Delta {
+		t.Errorf("Encodings = %v", encs)
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	c := New()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		def := clickTable()
+		def.Name = name
+		if err := c.Create(def); err != nil {
+			t.Fatal(err)
+		}
+	}
+	list := c.List()
+	if len(list) != 3 || list[0].Name != "alpha" || list[2].Name != "zeta" {
+		names := make([]string, len(list))
+		for i, d := range list {
+			names[i] = d.Name
+		}
+		t.Errorf("List = %v", strings.Join(names, ","))
+	}
+}
+
+func TestStatsLifecycle(t *testing.T) {
+	c := New()
+	def := clickTable()
+	c.Create(def)
+
+	s, err := c.Stats(def.ID)
+	if err != nil || s.Rows != 0 {
+		t.Fatalf("initial stats: %+v %v", s, err)
+	}
+	delta := TableStats{
+		Rows:         100,
+		UnsortedRows: 10,
+		Cols: []ColumnStats{
+			{Min: types.NewTimestamp(5), Max: types.NewTimestamp(50), NDV: 90},
+			{Min: types.NewInt(1), Max: types.NewInt(9), NullCount: 3, NDV: 9},
+			{Min: types.NewString("a"), Max: types.NewString("z"), NDV: 50},
+		},
+	}
+	if err := c.UpdateStats(def.ID, delta); err != nil {
+		t.Fatal(err)
+	}
+	delta2 := TableStats{
+		Rows: 50,
+		Cols: []ColumnStats{
+			{Min: types.NewTimestamp(1), Max: types.NewTimestamp(20), NDV: 40},
+			{Min: types.NewInt(5), Max: types.NewInt(30), NDV: 20},
+			{Min: types.NewString("m"), Max: types.NewString("q"), NDV: 10},
+		},
+	}
+	if err := c.UpdateStats(def.ID, delta2); err != nil {
+		t.Fatal(err)
+	}
+	s, _ = c.Stats(def.ID)
+	if s.Rows != 150 || s.UnsortedRows != 10 {
+		t.Errorf("rows=%d unsorted=%d", s.Rows, s.UnsortedRows)
+	}
+	if s.Cols[0].Min.I != 1 || s.Cols[0].Max.I != 50 {
+		t.Errorf("ts bounds = %v..%v", s.Cols[0].Min, s.Cols[0].Max)
+	}
+	if s.Cols[1].Min.I != 1 || s.Cols[1].Max.I != 30 || s.Cols[1].NullCount != 3 {
+		t.Errorf("product bounds = %+v", s.Cols[1])
+	}
+	if s.Cols[2].Min.S != "a" || s.Cols[2].Max.S != "z" {
+		t.Errorf("url bounds = %+v", s.Cols[2])
+	}
+
+	// ReplaceStats overwrites.
+	if err := c.ReplaceStats(def.ID, TableStats{Rows: 7, Cols: make([]ColumnStats, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	s, _ = c.Stats(def.ID)
+	if s.Rows != 7 {
+		t.Errorf("after replace rows=%d", s.Rows)
+	}
+
+	if err := c.UpdateStats(999, delta); err == nil {
+		t.Error("UpdateStats on missing table succeeded")
+	}
+}
+
+func TestStatsCopyIsolated(t *testing.T) {
+	c := New()
+	def := clickTable()
+	c.Create(def)
+	s, _ := c.Stats(def.ID)
+	s.Rows = 999999
+	if len(s.Cols) > 0 {
+		s.Cols[0].NDV = 123
+	}
+	s2, _ := c.Stats(def.ID)
+	if s2.Rows == 999999 || (len(s2.Cols) > 0 && s2.Cols[0].NDV == 123) {
+		t.Error("Stats returned shared state")
+	}
+}
+
+func TestSetEncoding(t *testing.T) {
+	c := New()
+	def := clickTable()
+	c.Create(def)
+	if err := c.SetEncoding(def.ID, 1, compress.Mostly8); err != nil {
+		t.Fatal(err)
+	}
+	encs, err := c.Encodings(def.ID)
+	if err != nil || encs[1] != compress.Mostly8 {
+		t.Errorf("encoding not applied: %v %v", encs, err)
+	}
+	// The definition stays immutable; only the catalog's view changes.
+	if def.Columns[1].Encoding == compress.Mostly8 {
+		t.Error("SetEncoding mutated the shared TableDef")
+	}
+	// Returned slice is a copy.
+	encs[0] = compress.LZ
+	again, _ := c.Encodings(def.ID)
+	if again[0] == compress.LZ {
+		t.Error("Encodings returned shared state")
+	}
+	if err := c.SetEncoding(def.ID, 2, compress.Delta); err == nil {
+		t.Error("inapplicable encoding accepted")
+	}
+	if err := c.SetEncoding(def.ID, 99, compress.Raw); err == nil {
+		t.Error("bad ordinal accepted")
+	}
+	if err := c.SetEncoding(12345, 0, compress.Raw); err == nil {
+		t.Error("bad table accepted")
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	c := New()
+	def := clickTable()
+	c.Create(def)
+	c.UpdateStats(def.ID, TableStats{Rows: 42, Cols: make([]ColumnStats, 3)})
+	other := clickTable()
+	other.Name = "products"
+	c.Create(other)
+
+	data, err := c.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := got.Get("clicks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ID != def.ID || d.DistStyle != DistKey || d.DistKeyCol != 1 || len(d.SortKeyCols) != 1 {
+		t.Errorf("restored def = %+v", d)
+	}
+	s, err := got.Stats(d.ID)
+	if err != nil || s.Rows != 42 {
+		t.Errorf("restored stats = %+v %v", s, err)
+	}
+	// New tables in the restored catalog must not collide with old IDs.
+	third := clickTable()
+	third.Name = "third"
+	if err := got.Create(third); err != nil {
+		t.Fatal(err)
+	}
+	if third.ID <= other.ID {
+		t.Errorf("restored nextID wrong: new table got %d", third.ID)
+	}
+
+	if _, err := Unmarshal([]byte("{garbage")); err == nil {
+		t.Error("Unmarshal accepted garbage")
+	}
+}
+
+func TestDistSortStyleStrings(t *testing.T) {
+	if DistEven.String() != "EVEN" || DistKey.String() != "KEY" || DistAll.String() != "ALL" {
+		t.Error("DistStyle names wrong")
+	}
+	if SortNone.String() != "NONE" || SortCompound.String() != "COMPOUND" || SortInterleaved.String() != "INTERLEAVED" {
+		t.Error("SortStyle names wrong")
+	}
+}

@@ -1,0 +1,569 @@
+// Package cluster implements the data plane topology of §2.1: a cluster of
+// compute nodes partitioned into slices (one per core), table shards
+// distributed across slices (EVEN round-robin, KEY hash, or ALL
+// duplication), synchronous block replication to a secondary node chosen by
+// cohort, and transparent read fail-over primary → secondary → S3.
+//
+// The "network" between nodes is in-process, but every byte that would
+// cross a node boundary is accounted, so the co-location and shuffle
+// numbers the paper reasons about are measured rather than asserted.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"redshift/internal/catalog"
+	"redshift/internal/exec"
+	"redshift/internal/storage"
+	"redshift/internal/types"
+)
+
+// Config sizes a cluster.
+type Config struct {
+	// Nodes is the number of compute nodes.
+	Nodes int
+	// SlicesPerNode is the number of slices (cores) per node.
+	SlicesPerNode int
+	// CohortSize groups nodes for replication: a block's secondary copy
+	// lives on the next node of the same cohort, bounding how many nodes a
+	// failure forces re-replication traffic onto (§2.1 "Cohorting is used
+	// to limit the number of slices impacted by an individual disk or node
+	// failure").
+	CohortSize int
+	// BlockCap is rows per block (storage.BlockCap when zero).
+	BlockCap int
+}
+
+// Validate applies defaults and checks bounds.
+func (c *Config) Validate() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("cluster: need at least one node")
+	}
+	if c.SlicesPerNode < 1 {
+		return fmt.Errorf("cluster: need at least one slice per node")
+	}
+	if c.CohortSize <= 0 {
+		c.CohortSize = 2
+	}
+	if c.BlockCap <= 0 {
+		c.BlockCap = storage.BlockCap
+	}
+	return nil
+}
+
+// Node is one compute node.
+type Node struct {
+	ID     int
+	failed atomic.Bool
+	mu     sync.RWMutex
+	// secondary holds replica payloads for blocks whose primary lives on a
+	// cohort peer.
+	secondary map[storage.BlockID][]byte
+}
+
+// Failed reports whether the node is down.
+func (n *Node) Failed() bool { return n.failed.Load() }
+
+// Slice is one unit of parallelism: a share of a node's CPU, memory and
+// disk, owning a shard of every table.
+type Slice struct {
+	ID   int
+	Node *Node
+	mu   sync.RWMutex
+	// shards maps table ID → the slice's segments with commit visibility.
+	shards map[int64][]SegmentEntry
+	// rrNext is the round-robin cursor for EVEN distribution.
+}
+
+// SegmentEntry is a segment plus its visibility window: created at Xid,
+// superseded at DroppedXid (0 = still live). VACUUM and TRUNCATE install
+// replacements without breaking readers that hold older snapshots.
+type SegmentEntry struct {
+	Seg        *storage.Segment
+	Xid        int64
+	DroppedXid int64
+}
+
+// Cluster is the in-process data plane.
+type Cluster struct {
+	cfg    Config
+	nodes  []*Node
+	slices []*Slice
+
+	// netBytes counts bytes that crossed a node boundary (shuffles,
+	// broadcasts, replication, node rebuilds).
+	netBytes atomic.Int64
+
+	// rrMu guards per-table round-robin cursors for EVEN distribution.
+	rrMu sync.Mutex
+	rr   map[int64]int
+
+	// fetchBackup, when set by the backup layer, resolves a block payload
+	// from S3 (by content hash) — the third read replica of §2.1.
+	fetchBackup func(b *storage.Block) ([]byte, error)
+}
+
+// New builds a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, rr: map[int64]int{}}
+	for n := 0; n < cfg.Nodes; n++ {
+		node := &Node{ID: n, secondary: map[storage.BlockID][]byte{}}
+		c.nodes = append(c.nodes, node)
+		for s := 0; s < cfg.SlicesPerNode; s++ {
+			c.slices = append(c.slices, &Slice{
+				ID:     n*cfg.SlicesPerNode + s,
+				Node:   node,
+				shards: map[int64][]SegmentEntry{},
+			})
+		}
+	}
+	return c, nil
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// NumSlices returns the total slice count.
+func (c *Cluster) NumSlices() int { return len(c.slices) }
+
+// NumNodes returns the node count.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// Slice returns slice i.
+func (c *Cluster) Slice(i int) *Slice { return c.slices[i] }
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// NetBytes returns the cross-node traffic counter.
+func (c *Cluster) NetBytes() int64 { return c.netBytes.Load() }
+
+// ResetNetBytes zeroes the traffic counter (between benchmark phases).
+func (c *Cluster) ResetNetBytes() { c.netBytes.Store(0) }
+
+// AccountTransfer records bytes moving between two nodes; same-node moves
+// are free, like slice-to-slice traffic inside a box.
+func (c *Cluster) AccountTransfer(fromNode, toNode int, bytes int64) {
+	if fromNode != toNode {
+		c.netBytes.Add(bytes)
+	}
+}
+
+// SetBackupFetcher installs the S3 read path for the third replica.
+func (c *Cluster) SetBackupFetcher(f func(b *storage.Block) ([]byte, error)) {
+	c.fetchBackup = f
+}
+
+// cohortOf returns the replication cohort members of a node.
+func (c *Cluster) cohortOf(node int) (lo, hi int) {
+	lo = node / c.cfg.CohortSize * c.cfg.CohortSize
+	hi = lo + c.cfg.CohortSize
+	if hi > len(c.nodes) {
+		hi = len(c.nodes)
+	}
+	return lo, hi
+}
+
+// SecondaryNode returns where a primary node's blocks are replicated, or -1
+// for a single-node cohort (no replication possible).
+func (c *Cluster) SecondaryNode(primary int) int {
+	lo, hi := c.cohortOf(primary)
+	if hi-lo <= 1 {
+		return -1
+	}
+	next := primary + 1
+	if next >= hi {
+		next = lo
+	}
+	return next
+}
+
+// TargetSliceKey returns the slice that owns a KEY-distributed row.
+func (c *Cluster) TargetSliceKey(distValue types.Value) int {
+	h := exec.HashValues([]types.Value{distValue})
+	return int(h % uint64(len(c.slices)))
+}
+
+// nextRoundRobin returns the next EVEN-distribution slice for a table.
+func (c *Cluster) nextRoundRobin(tableID int64) int {
+	c.rrMu.Lock()
+	defer c.rrMu.Unlock()
+	s := c.rr[tableID]
+	c.rr[tableID] = (s + 1) % len(c.slices)
+	return s
+}
+
+// DistributeRows partitions rows to slices per the table's DISTSTYLE.
+// For DistAll every node receives the full row set (on its first slice).
+func (c *Cluster) DistributeRows(def *catalog.TableDef, rows []types.Row) [][]types.Row {
+	out := make([][]types.Row, len(c.slices))
+	switch def.DistStyle {
+	case catalog.DistAll:
+		for n := range c.nodes {
+			s := n * c.cfg.SlicesPerNode
+			out[s] = append(out[s], rows...)
+		}
+	case catalog.DistKey:
+		for _, row := range rows {
+			s := c.TargetSliceKey(row[def.DistKeyCol])
+			out[s] = append(out[s], row)
+		}
+	default: // EVEN
+		for _, row := range rows {
+			s := c.nextRoundRobin(def.ID)
+			out[s] = append(out[s], row)
+		}
+	}
+	return out
+}
+
+// AppendSegment registers a segment on a slice with synchronous secondary
+// replication (§2.1: "Each data block is synchronously written to both its
+// primary slice as well as to at least one secondary on a separate node").
+func (c *Cluster) AppendSegment(sliceID int, seg *storage.Segment, xid int64) error {
+	if sliceID < 0 || sliceID >= len(c.slices) {
+		return fmt.Errorf("cluster: slice %d out of range", sliceID)
+	}
+	sl := c.slices[sliceID]
+	if sl.Node.Failed() {
+		return fmt.Errorf("cluster: slice %d is on failed node %d", sliceID, sl.Node.ID)
+	}
+	sec := c.SecondaryNode(sl.Node.ID)
+	if sec >= 0 {
+		secNode := c.nodes[sec]
+		secNode.mu.Lock()
+		seg.Blocks(func(b *storage.Block) {
+			payload := append([]byte(nil), b.Payload()...)
+			secNode.secondary[b.ID] = payload
+			c.AccountTransfer(sl.Node.ID, sec, int64(len(payload)))
+		})
+		secNode.mu.Unlock()
+	}
+	sl.mu.Lock()
+	sl.shards[seg.Table] = append(sl.shards[seg.Table], SegmentEntry{Seg: seg, Xid: xid})
+	sl.mu.Unlock()
+	return nil
+}
+
+// RestoreSegment registers a segment without replication — the metadata
+// phase of streaming restore, where payloads are still in S3 and will be
+// page-faulted or background-fetched later.
+func (c *Cluster) RestoreSegment(sliceID int, seg *storage.Segment, xid int64) error {
+	if sliceID < 0 || sliceID >= len(c.slices) {
+		return fmt.Errorf("cluster: slice %d out of range", sliceID)
+	}
+	sl := c.slices[sliceID]
+	sl.mu.Lock()
+	sl.shards[seg.Table] = append(sl.shards[seg.Table], SegmentEntry{Seg: seg, Xid: xid})
+	sl.mu.Unlock()
+	return nil
+}
+
+// ReplicateAll re-establishes secondary copies for every resident primary
+// block — the final step of a full restore or a cohort rebuild.
+func (c *Cluster) ReplicateAll() {
+	for _, sl := range c.slices {
+		sec := c.SecondaryNode(sl.Node.ID)
+		if sec < 0 {
+			continue
+		}
+		secNode := c.nodes[sec]
+		sl.mu.RLock()
+		secNode.mu.Lock()
+		for _, entries := range sl.shards {
+			for _, e := range entries {
+				e.Seg.Blocks(func(b *storage.Block) {
+					if b.Resident() {
+						if _, ok := secNode.secondary[b.ID]; !ok {
+							secNode.secondary[b.ID] = append([]byte(nil), b.Payload()...)
+							c.AccountTransfer(sl.Node.ID, sec, b.ByteSize())
+						}
+					}
+				})
+			}
+		}
+		secNode.mu.Unlock()
+		sl.mu.RUnlock()
+	}
+}
+
+// VisibleSegments returns the slice's segments of a table committed at or
+// before the snapshot xid.
+func (c *Cluster) VisibleSegments(sliceID int, tableID, snapshotXid int64) []*storage.Segment {
+	sl := c.slices[sliceID]
+	sl.mu.RLock()
+	defer sl.mu.RUnlock()
+	var out []*storage.Segment
+	for _, e := range sl.shards[tableID] {
+		if e.Xid <= snapshotXid && (e.DroppedXid == 0 || e.DroppedXid > snapshotXid) {
+			out = append(out, e.Seg)
+		}
+	}
+	return out
+}
+
+// ReplaceSegments atomically replaces a table's shard on a slice
+// (VACUUM/TRUNCATE install the rewritten shard). The superseded segments
+// are kept with DroppedXid = xid so snapshots older than the replacement
+// keep reading them; PruneDropped reclaims them once no snapshot needs
+// them.
+func (c *Cluster) ReplaceSegments(sliceID int, tableID int64, segs []*storage.Segment, xid int64) {
+	sl := c.slices[sliceID]
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	entries := sl.shards[tableID]
+	for i := range entries {
+		if entries[i].DroppedXid == 0 {
+			entries[i].DroppedXid = xid
+		}
+	}
+	for _, s := range segs {
+		entries = append(entries, SegmentEntry{Seg: s, Xid: xid})
+	}
+	sl.shards[tableID] = entries
+}
+
+// PruneDropped removes superseded segments no live snapshot can still see
+// (oldestActive is the smallest snapshot xid any active transaction or
+// query holds). It returns how many entries were reclaimed.
+func (c *Cluster) PruneDropped(oldestActive int64) int {
+	pruned := 0
+	for _, sl := range c.slices {
+		sl.mu.Lock()
+		for tableID, entries := range sl.shards {
+			kept := entries[:0]
+			for _, e := range entries {
+				if e.DroppedXid != 0 && e.DroppedXid <= oldestActive {
+					pruned++
+					continue
+				}
+				kept = append(kept, e)
+			}
+			sl.shards[tableID] = kept
+		}
+		sl.mu.Unlock()
+	}
+	return pruned
+}
+
+// DiscardXid removes a table's segments registered under an unpublished
+// xid — the rollback path when a write statement fails after registering
+// some slices' segments.
+func (c *Cluster) DiscardXid(tableID, xid int64) {
+	for _, sl := range c.slices {
+		sl.mu.Lock()
+		entries := sl.shards[tableID]
+		kept := entries[:0]
+		for _, e := range entries {
+			if e.Xid == xid {
+				continue
+			}
+			if e.DroppedXid == xid {
+				e.DroppedXid = 0 // un-drop what the aborted writer superseded
+			}
+			kept = append(kept, e)
+		}
+		sl.shards[tableID] = kept
+		sl.mu.Unlock()
+	}
+}
+
+// DropTable removes a table's shards everywhere.
+func (c *Cluster) DropTable(tableID int64) {
+	for _, sl := range c.slices {
+		sl.mu.Lock()
+		delete(sl.shards, tableID)
+		sl.mu.Unlock()
+	}
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		for id := range n.secondary {
+			if id.Table == tableID {
+				delete(n.secondary, id)
+			}
+		}
+		n.mu.Unlock()
+	}
+}
+
+// TableBytes returns the total primary storage a table occupies.
+func (c *Cluster) TableBytes(tableID int64) int64 {
+	var total int64
+	for _, sl := range c.slices {
+		sl.mu.RLock()
+		for _, e := range sl.shards[tableID] {
+			total += e.Seg.ByteSize()
+		}
+		sl.mu.RUnlock()
+	}
+	return total
+}
+
+// Tables returns the IDs of all tables with data on the cluster.
+func (c *Cluster) Tables() []int64 {
+	seen := map[int64]bool{}
+	var out []int64
+	for _, sl := range c.slices {
+		sl.mu.RLock()
+		for id := range sl.shards {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+		sl.mu.RUnlock()
+	}
+	return out
+}
+
+// FailNode simulates a node loss: its disks' payloads are gone. Metadata
+// (zone maps, hashes, shard lists) survives at the leader, which is what
+// lets reads fail over and the replacement workflow rebuild the node.
+func (c *Cluster) FailNode(nodeID int) {
+	node := c.nodes[nodeID]
+	node.failed.Store(true)
+	for _, sl := range c.slices {
+		if sl.Node != node {
+			continue
+		}
+		sl.mu.Lock()
+		for _, entries := range sl.shards {
+			for _, e := range entries {
+				e.Seg.Blocks(func(b *storage.Block) { b.Evict() })
+			}
+		}
+		sl.mu.Unlock()
+	}
+	node.mu.Lock()
+	node.secondary = map[storage.BlockID][]byte{}
+	node.mu.Unlock()
+}
+
+// FetchBlock resolves a block payload for a page fault: secondary replica
+// first, then the S3 backup ("The primary, secondary and Amazon S3 copies
+// of the data block are each available for read, making media failures
+// transparent"). It returns the bytes moved so callers can account traffic.
+func (c *Cluster) FetchBlock(b *storage.Block) error {
+	primaryNode := int(b.ID.Slice) / c.cfg.SlicesPerNode
+	if sec := c.SecondaryNode(primaryNode); sec >= 0 && !c.nodes[sec].Failed() {
+		secNode := c.nodes[sec]
+		secNode.mu.RLock()
+		payload, ok := secNode.secondary[b.ID]
+		secNode.mu.RUnlock()
+		if ok {
+			c.AccountTransfer(sec, primaryNode, int64(len(payload)))
+			return b.Fill(payload)
+		}
+	}
+	if c.fetchBackup != nil {
+		payload, err := c.fetchBackup(b)
+		if err == nil {
+			c.AccountTransfer(-1, primaryNode, int64(len(payload)))
+			return b.Fill(payload)
+		}
+	}
+	return fmt.Errorf("cluster: block %s: no replica available", b.ID)
+}
+
+// RecoverNode rebuilds a failed node from secondaries and S3 — the
+// replacement workflow's data phase. It returns the number of blocks
+// restored and the bytes moved.
+func (c *Cluster) RecoverNode(nodeID int) (blocks int, bytes int64, err error) {
+	node := c.nodes[nodeID]
+	start := c.netBytes.Load()
+	for _, sl := range c.slices {
+		if sl.Node != node {
+			continue
+		}
+		sl.mu.RLock()
+		var all []*storage.Block
+		for _, entries := range sl.shards {
+			for _, e := range entries {
+				e.Seg.Blocks(func(b *storage.Block) {
+					if !b.Resident() {
+						all = append(all, b)
+					}
+				})
+			}
+		}
+		sl.mu.RUnlock()
+		for _, b := range all {
+			if ferr := c.FetchBlock(b); ferr != nil {
+				return blocks, c.netBytes.Load() - start, ferr
+			}
+			blocks++
+		}
+	}
+	// Re-establish the node's own secondary copies for its cohort peers.
+	c.reReplicateTo(nodeID)
+	node.failed.Store(false)
+	return blocks, c.netBytes.Load() - start, nil
+}
+
+// reReplicateTo repopulates nodeID's secondary map from its cohort peers'
+// primary blocks.
+func (c *Cluster) reReplicateTo(nodeID int) {
+	node := c.nodes[nodeID]
+	for _, sl := range c.slices {
+		if c.SecondaryNode(sl.Node.ID) != nodeID || sl.Node.Failed() {
+			continue
+		}
+		sl.mu.RLock()
+		node.mu.Lock()
+		for _, entries := range sl.shards {
+			for _, e := range entries {
+				e.Seg.Blocks(func(b *storage.Block) {
+					if b.Resident() {
+						node.secondary[b.ID] = append([]byte(nil), b.Payload()...)
+						c.AccountTransfer(sl.Node.ID, nodeID, b.ByteSize())
+					}
+				})
+			}
+		}
+		node.mu.Unlock()
+		sl.mu.RUnlock()
+	}
+}
+
+// EvictAll drops every payload on the cluster while keeping metadata — the
+// state right after a streaming restore's catalog phase (§2.3).
+func (c *Cluster) EvictAll() {
+	for _, sl := range c.slices {
+		sl.mu.Lock()
+		for _, entries := range sl.shards {
+			for _, e := range entries {
+				e.Seg.Blocks(func(b *storage.Block) { b.Evict() })
+			}
+		}
+		sl.mu.Unlock()
+	}
+}
+
+// SlicesOfNode returns the slices hosted on one node.
+func (c *Cluster) SlicesOfNode(nodeID int) []*Slice {
+	var out []*Slice
+	for _, sl := range c.slices {
+		if sl.Node.ID == nodeID {
+			out = append(out, sl)
+		}
+	}
+	return out
+}
+
+// AllBlocks visits every primary block on live nodes.
+func (c *Cluster) AllBlocks(fn func(*storage.Block)) {
+	for _, sl := range c.slices {
+		sl.mu.RLock()
+		for _, entries := range sl.shards {
+			for _, e := range entries {
+				e.Seg.Blocks(fn)
+			}
+		}
+		sl.mu.RUnlock()
+	}
+}

@@ -1,0 +1,147 @@
+// Package controlplane implements §2.2 and §3: the workflows that monitor
+// and manage the database — provisioning (cold and from the preconfigured
+// warm pool), patching with the two-version rule and automatic rollback,
+// backup/restore orchestration, cluster resize with a read-only source and
+// parallel node-to-node copy, node replacement, and the per-node host
+// manager.
+//
+// Workflows run on a sim.Clock: integration tests drive them in scaled wall
+// time, the Figure 2 benchmarks in virtual time at 2/16/128-node scale.
+package controlplane
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"redshift/internal/sim"
+)
+
+// Step is one unit of a workflow: a named action with bounded retries.
+type Step struct {
+	Name string
+	// Retries is how many times the step is re-attempted after failure.
+	Retries int
+	// Do performs the action; it may sleep on the engine's clock.
+	Do func() error
+}
+
+// StepLog records one step's outcome.
+type StepLog struct {
+	Name     string
+	Attempts int
+	Duration time.Duration
+	Err      error
+}
+
+// RunLog is a completed workflow's trace.
+type RunLog struct {
+	Name     string
+	Steps    []StepLog
+	Duration time.Duration
+	Err      error
+}
+
+// Engine executes workflows — the stand-in for Amazon SWF (§2.3): every
+// admin action is a sequence of durable, retried steps with fixed
+// coordination overhead.
+type Engine struct {
+	Clock sim.Clock
+	// StepOverhead is the coordination cost charged per step attempt.
+	StepOverhead time.Duration
+	// RetryBackoff is slept between attempts.
+	RetryBackoff time.Duration
+
+	mu   sync.Mutex
+	runs []*RunLog
+}
+
+// NewEngine builds a workflow engine on the clock with the cost model's
+// step overhead.
+func NewEngine(clock sim.Clock, model sim.CostModel) *Engine {
+	return &Engine{
+		Clock:        clock,
+		StepOverhead: model.ControlPlaneStep,
+		RetryBackoff: 10 * time.Second,
+	}
+}
+
+// Run executes the steps in order, retrying each per its budget. The first
+// exhausted step aborts the workflow.
+func (e *Engine) Run(name string, steps ...Step) (*RunLog, error) {
+	start := e.Clock.Now()
+	log := &RunLog{Name: name}
+	for _, step := range steps {
+		sl := StepLog{Name: step.Name}
+		stepStart := e.Clock.Now()
+		for attempt := 0; ; attempt++ {
+			sl.Attempts++
+			e.Clock.Sleep(e.StepOverhead)
+			err := step.Do()
+			if err == nil {
+				sl.Err = nil
+				break
+			}
+			sl.Err = err
+			if attempt >= step.Retries {
+				break
+			}
+			e.Clock.Sleep(e.RetryBackoff)
+		}
+		sl.Duration = e.Clock.Now().Sub(stepStart)
+		log.Steps = append(log.Steps, sl)
+		if sl.Err != nil {
+			log.Err = fmt.Errorf("controlplane: workflow %s: step %s: %w", name, step.Name, sl.Err)
+			break
+		}
+	}
+	log.Duration = e.Clock.Now().Sub(start)
+	e.mu.Lock()
+	e.runs = append(e.runs, log)
+	e.mu.Unlock()
+	return log, log.Err
+}
+
+// Runs returns the completed workflow logs.
+func (e *Engine) Runs() []*RunLog {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]*RunLog(nil), e.runs...)
+}
+
+// WarmPool is the preconfigured-node standby capacity of §3.1 ("support
+// for preconfigured Amazon Redshift nodes available for faster creations
+// and supporting standbys for node failure replacements").
+type WarmPool struct {
+	mu    sync.Mutex
+	avail int
+}
+
+// NewWarmPool returns a pool with n preconfigured nodes.
+func NewWarmPool(n int) *WarmPool { return &WarmPool{avail: n} }
+
+// Take removes up to n nodes from the pool and returns how many it got.
+func (w *WarmPool) Take(n int) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	got := n
+	if got > w.avail {
+		got = w.avail
+	}
+	w.avail -= got
+	return got
+}
+
+// Return puts nodes back (decommission, pool refill).
+func (w *WarmPool) Return(n int) {
+	w.mu.Lock()
+	w.avail += n
+	w.mu.Unlock()
+}
+
+// Available reports the current pool size.
+func (w *WarmPool) Available() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.avail
+}

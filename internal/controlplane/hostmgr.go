@@ -1,0 +1,86 @@
+package controlplane
+
+import (
+	"sync"
+	"time"
+
+	"redshift/internal/sim"
+)
+
+// Event is one host-manager observation.
+type Event struct {
+	At     time.Time
+	Kind   string // "heartbeat", "engine-restart", "disk-error", ...
+	Detail string
+}
+
+// HostManager is the per-node agent of §2.2: it monitors the host, database
+// and logs, aggregates events and metrics, and has "limited capability to
+// perform actions, for example, restarting a database process on failure".
+type HostManager struct {
+	NodeID int
+	clock  sim.Clock
+
+	mu       sync.Mutex
+	events   []Event
+	restarts int
+	logBytes int64
+}
+
+// NewHostManager builds an agent for one node.
+func NewHostManager(nodeID int, clock sim.Clock) *HostManager {
+	return &HostManager{NodeID: nodeID, clock: clock}
+}
+
+// Record appends an event.
+func (h *HostManager) Record(kind, detail string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.events = append(h.events, Event{At: h.clock.Now(), Kind: kind, Detail: detail})
+}
+
+// CheckHealth runs one health probe. On failure the manager restarts the
+// engine process locally (its one autonomous remediation) and reports
+// whether the node is healthy after the check.
+func (h *HostManager) CheckHealth(probe func() error) bool {
+	err := probe()
+	if err == nil {
+		h.Record("heartbeat", "ok")
+		return true
+	}
+	h.Record("engine-restart", err.Error())
+	h.clock.Sleep(15 * time.Second) // process restart
+	h.mu.Lock()
+	h.restarts++
+	h.mu.Unlock()
+	return false
+}
+
+// Restarts returns how many times the engine was restarted.
+func (h *HostManager) Restarts() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.restarts
+}
+
+// AppendLog accounts log growth; RotateLogs archives when past the limit
+// ("archiving and rotating logs", §2.2). It returns whether a rotation
+// happened.
+func (h *HostManager) AppendLog(bytes int64, limit int64) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.logBytes += bytes
+	if h.logBytes >= limit {
+		h.logBytes = 0
+		h.events = append(h.events, Event{At: h.clock.Now(), Kind: "log-rotate"})
+		return true
+	}
+	return false
+}
+
+// Events snapshots the event log.
+func (h *HostManager) Events() []Event {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]Event(nil), h.events...)
+}

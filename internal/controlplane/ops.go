@@ -1,0 +1,238 @@
+package controlplane
+
+import (
+	"fmt"
+	"time"
+
+	"redshift/internal/sim"
+)
+
+// Ops models the fleet-scale admin operations of Figure 2 and §3 on the
+// cost model: each operation is a workflow whose data-moving steps are
+// parallel across nodes, so durations stay nearly flat as clusters grow —
+// the figure's central claim.
+type Ops struct {
+	Engine *Engine
+	Model  sim.CostModel
+	Warm   *WarmPool
+	// EC2Outage simulates an instance-provisioning interruption in the
+	// underlying infrastructure (§5's "design escalators, not elevators"):
+	// cold acquisitions fail while set; the preconfigured warm pool keeps
+	// provisioning and replacement working through the outage.
+	EC2Outage bool
+}
+
+// NewOps wires the simulated operations.
+func NewOps(clock sim.Clock, model sim.CostModel, warm *WarmPool) *Ops {
+	return &Ops{Engine: NewEngine(clock, model), Model: model, Warm: warm}
+}
+
+// perNode runs one duration-consuming action for every node in parallel.
+func (o *Ops) perNode(nodes int, d func(node int) time.Duration) func() error {
+	return func() error {
+		fns := make([]func(), nodes)
+		for n := 0; n < nodes; n++ {
+			n := n
+			fns[n] = func() { o.Engine.Clock.Sleep(d(n)) }
+		}
+		sim.Parallel(o.Engine.Clock, fns...)
+		return nil
+	}
+}
+
+// Provision creates an n-node cluster. With useWarm, nodes come from the
+// preconfigured pool when available (§3.1: 15 minutes cold at launch,
+// 3 minutes with preconfigured nodes).
+func (o *Ops) Provision(nodes int, useWarm bool) (*RunLog, error) {
+	warm := 0
+	if useWarm && o.Warm != nil {
+		warm = o.Warm.Take(nodes)
+	}
+	m := o.Model
+	boot := o.perNode(nodes, func(n int) time.Duration {
+		if n < warm {
+			return m.NodeBootWarm
+		}
+		return m.NodeBootCold
+	})
+	return o.Engine.Run(fmt.Sprintf("provision-%d", nodes),
+		Step{Name: "reserve-capacity", Do: func() error { return nil }},
+		Step{Name: "acquire-and-boot", Retries: 2, Do: func() error {
+			if o.EC2Outage && warm < nodes {
+				// Cold acquisition is down; only fully warm-pool-backed
+				// provisioning can proceed.
+				return fmt.Errorf("controlplane: EC2 provisioning interruption (%d of %d nodes warm)", warm, nodes)
+			}
+			return boot()
+		}},
+		Step{Name: "configure-network", Do: func() error {
+			o.Engine.Clock.Sleep(m.ControlPlaneStep)
+			return nil
+		}},
+		Step{Name: "start-engine", Do: o.perNode(nodes, func(int) time.Duration {
+			return 10 * time.Second
+		})},
+		Step{Name: "register-endpoint", Do: func() error {
+			o.Engine.Clock.Sleep(m.DNSPropagation)
+			return nil
+		}},
+	)
+}
+
+// Connect models the customer's first connection: DNS lookup, TLS/auth
+// handshake, session setup.
+func (o *Ops) Connect() (*RunLog, error) {
+	return o.Engine.Run("connect",
+		Step{Name: "resolve-endpoint", Do: func() error {
+			o.Engine.Clock.Sleep(2 * time.Second)
+			return nil
+		}},
+		Step{Name: "authenticate", Do: func() error {
+			o.Engine.Clock.Sleep(3 * time.Second)
+			return nil
+		}},
+	)
+}
+
+// Backup uploads changed blocks to the object store. Per §3.2 the time is
+// proportional to the data changed on a single node: every node uploads its
+// share in parallel.
+func (o *Ops) Backup(nodes int, changedBytes int64) (*RunLog, error) {
+	perNodeBytes := changedBytes / int64(nodes)
+	return o.Engine.Run(fmt.Sprintf("backup-%d", nodes),
+		Step{Name: "snapshot-metadata", Do: func() error { return nil }},
+		Step{Name: "upload-changed-blocks", Retries: 1, Do: o.perNode(nodes, func(int) time.Duration {
+			return o.Model.S3Upload(perNodeBytes)
+		})},
+		Step{Name: "commit-manifest", Do: func() error { return nil }},
+	)
+}
+
+// Restore brings a backup onto a fresh cluster. With streaming, the
+// database opens after metadata restore and only the working set is pulled
+// before first-query time; the rest downloads in background (not part of
+// the reported duration, exactly as customers experience it).
+func (o *Ops) Restore(nodes int, totalBytes int64, streaming bool, workingSet float64) (*RunLog, error) {
+	pull := totalBytes
+	if streaming {
+		pull = int64(float64(totalBytes) * workingSet)
+	}
+	perNodeBytes := pull / int64(nodes)
+	return o.Engine.Run(fmt.Sprintf("restore-%d", nodes),
+		Step{Name: "restore-catalog", Do: func() error {
+			o.Engine.Clock.Sleep(20 * time.Second)
+			return nil
+		}},
+		Step{Name: "restore-block-metadata", Do: o.perNode(nodes, func(int) time.Duration {
+			return 10 * time.Second
+		})},
+		Step{Name: "fetch-blocks", Retries: 1, Do: o.perNode(nodes, func(int) time.Duration {
+			return o.Model.S3Download(perNodeBytes)
+		})},
+		Step{Name: "open-for-sql", Do: func() error { return nil }},
+	)
+}
+
+// Resize provisions a target cluster, puts the source in read-only mode and
+// runs the parallel node-to-node copy (§3.1). Copy time is bounded by the
+// larger of per-source-node send and per-target-node receive bandwidth.
+func (o *Ops) Resize(fromNodes, toNodes int, totalBytes int64) (*RunLog, error) {
+	m := o.Model
+	sendPerNode := totalBytes / int64(fromNodes)
+	recvPerNode := totalBytes / int64(toNodes)
+	copyTime := m.NetTransfer(sendPerNode)
+	if r := m.NetTransfer(recvPerNode); r > copyTime {
+		copyTime = r
+	}
+	return o.Engine.Run(fmt.Sprintf("resize-%d-to-%d", fromNodes, toNodes),
+		Step{Name: "provision-target", Retries: 2, Do: o.perNode(toNodes, func(n int) time.Duration {
+			warm := 0
+			if o.Warm != nil {
+				warm = o.Warm.Take(1)
+			}
+			if warm > 0 {
+				return m.NodeBootWarm
+			}
+			return m.NodeBootCold
+		})},
+		Step{Name: "source-read-only", Do: func() error { return nil }},
+		Step{Name: "parallel-copy", Retries: 1, Do: o.perNode(fromNodes, func(int) time.Duration {
+			return copyTime
+		})},
+		Step{Name: "flip-endpoint", Do: func() error {
+			o.Engine.Clock.Sleep(m.DNSPropagation)
+			return nil
+		}},
+		Step{Name: "decommission-source", Do: func() error { return nil }},
+	)
+}
+
+// Patch applies a new engine version to a cluster inside the 30-minute
+// window (§5): drain, install per node in parallel, restart, verify
+// telemetry, auto-rollback on regression.
+func (o *Ops) Patch(nodes int, telemetryOK func() bool) (*RunLog, error) {
+	install := o.perNode(nodes, func(int) time.Duration { return 90 * time.Second })
+	rolledBack := false
+	log, err := o.Engine.Run(fmt.Sprintf("patch-%d", nodes),
+		Step{Name: "drain-queries", Do: func() error {
+			o.Engine.Clock.Sleep(30 * time.Second)
+			return nil
+		}},
+		Step{Name: "install-version", Retries: 1, Do: install},
+		Step{Name: "restart-engine", Do: o.perNode(nodes, func(int) time.Duration {
+			return 20 * time.Second
+		})},
+		Step{Name: "verify-telemetry", Do: func() error {
+			o.Engine.Clock.Sleep(60 * time.Second) // observation window
+			if telemetryOK != nil && !telemetryOK() {
+				return fmt.Errorf("error rate regression detected")
+			}
+			return nil
+		}},
+	)
+	if err != nil {
+		// Reversible patches: roll back automatically (§5).
+		rolledBack = true
+		if _, rbErr := o.Engine.Run(fmt.Sprintf("rollback-%d", nodes),
+			Step{Name: "reinstall-previous", Do: install},
+			Step{Name: "restart-engine", Do: o.perNode(nodes, func(int) time.Duration {
+				return 20 * time.Second
+			})},
+		); rbErr != nil {
+			return log, rbErr
+		}
+	}
+	if rolledBack {
+		return log, fmt.Errorf("controlplane: patch rolled back: %w", err)
+	}
+	return log, nil
+}
+
+// ReplaceNode swaps a failed node: take a standby (warm pool), rebuild its
+// blocks from cohort peers, rejoin.
+func (o *Ops) ReplaceNode(bytesOnNode int64) (*RunLog, error) {
+	m := o.Model
+	boot := m.NodeBootCold
+	haveWarm := o.Warm != nil && o.Warm.Take(1) > 0
+	if haveWarm {
+		boot = m.NodeBootWarm
+	}
+	return o.Engine.Run("replace-node",
+		Step{Name: "detect-failure", Do: func() error {
+			o.Engine.Clock.Sleep(30 * time.Second) // health-check interval
+			return nil
+		}},
+		Step{Name: "acquire-standby", Retries: 2, Do: func() error {
+			if o.EC2Outage && !haveWarm {
+				return fmt.Errorf("controlplane: EC2 provisioning interruption and no preconfigured standby")
+			}
+			o.Engine.Clock.Sleep(boot)
+			return nil
+		}},
+		Step{Name: "rebuild-from-cohort", Retries: 1, Do: func() error {
+			o.Engine.Clock.Sleep(m.NetTransfer(bytesOnNode))
+			return nil
+		}},
+		Step{Name: "rejoin-cluster", Do: func() error { return nil }},
+	)
+}

@@ -1,0 +1,115 @@
+package controlplane
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"redshift/internal/catalog"
+	"redshift/internal/core"
+	"redshift/internal/load"
+)
+
+// Endpoint is the SQL endpoint customers connect to. Resize swaps the
+// database behind it atomically ("we move the SQL endpoint and
+// decommission the source", §3.1).
+type Endpoint struct {
+	db atomic.Pointer[core.Database]
+}
+
+// NewEndpoint wraps a database.
+func NewEndpoint(db *core.Database) *Endpoint {
+	e := &Endpoint{}
+	e.db.Store(db)
+	return e
+}
+
+// DB returns the current database.
+func (e *Endpoint) DB() *core.Database { return e.db.Load() }
+
+// Swap atomically moves the endpoint to a new database.
+func (e *Endpoint) Swap(db *core.Database) { e.db.Store(db) }
+
+// ResizeStats reports what a real resize moved.
+type ResizeStats struct {
+	Tables    int
+	Rows      int64
+	FromNodes int
+	ToNodes   int
+}
+
+// ResizeDatabase performs the §3.1 resize on real data: provision a target
+// cluster with the new topology, put the source in read-only mode (reads
+// keep working throughout), copy every table with per-table parallelism,
+// re-distributing rows for the new slice count, then flip the endpoint and
+// leave the source to be decommissioned by the caller.
+func ResizeDatabase(ep *Endpoint, target core.Config) (ResizeStats, error) {
+	src := ep.DB()
+	var stats ResizeStats
+	stats.FromNodes = src.Cluster().NumNodes()
+	stats.ToNodes = target.Cluster.Nodes
+
+	dst, err := core.Open(target)
+	if err != nil {
+		return stats, err
+	}
+	src.SetReadOnly(true)
+	defer src.SetReadOnly(false)
+
+	defs := src.Catalog().List()
+	// Recreate the schema first (serial — catalog IDs must be stable).
+	for _, def := range defs {
+		cp := &catalog.TableDef{
+			Name:        def.Name,
+			Columns:     append([]catalog.ColumnDef(nil), def.Columns...),
+			DistStyle:   def.DistStyle,
+			DistKeyCol:  def.DistKeyCol,
+			SortStyle:   def.SortStyle,
+			SortKeyCols: append([]int(nil), def.SortKeyCols...),
+		}
+		if err := dst.Catalog().Create(cp); err != nil {
+			return stats, err
+		}
+	}
+	// Parallel node-to-node copy, one worker per table.
+	var wg sync.WaitGroup
+	errs := make([]error, len(defs))
+	var rowCount atomic.Int64
+	for i, def := range defs {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			rows, err := src.ReadTable(name)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			dstDef, err := dst.Catalog().Get(name)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			t := dst.Txns().Begin()
+			xid, err := dst.Txns().Commit(t)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if _, err := load.AppendRows(dst.Cluster(), dst.Catalog(), dstDef, rows, load.Options{}, xid); err != nil {
+				errs[i] = err
+				return
+			}
+			rowCount.Add(int64(len(rows)))
+		}(i, def.Name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return stats, fmt.Errorf("controlplane: resize copy: %w", err)
+		}
+	}
+	stats.Tables = len(defs)
+	stats.Rows = rowCount.Load()
+	ep.Swap(dst)
+	return stats, nil
+}

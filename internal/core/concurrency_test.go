@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"redshift/internal/cluster"
+	"redshift/internal/s3sim"
+)
+
+// TestConcurrentReadersWritersVacuum hammers one table with parallel
+// INSERTs, SELECTs and VACUUMs. Invariants under snapshot isolation:
+//
+//   - every SELECT COUNT(*) sees some prefix of the committed inserts
+//     (monotonic per the snapshot it took, never a torn partial insert),
+//   - no query errors,
+//   - the final count equals exactly the inserts that reported success.
+func TestConcurrentReadersWritersVacuum(t *testing.T) {
+	db, err := Open(Config{
+		Cluster:   cluster.Config{Nodes: 2, SlicesPerNode: 2, BlockCap: 32},
+		DataStore: s3sim.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, `CREATE TABLE c (k BIGINT, v BIGINT) DISTSTYLE KEY DISTKEY(k) SORTKEY(k)`)
+	// Each insert adds exactly 3 rows, so every consistent snapshot count
+	// is a multiple of 3.
+	const (
+		writers        = 4
+		insertsEach    = 15
+		rowsPerInsert  = 3
+		readers        = 4
+		vacuumInterval = 10
+	)
+	var committed atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < insertsEach; i++ {
+				k := w*1000 + i
+				q := fmt.Sprintf(`INSERT INTO c VALUES (%d, 1), (%d, 2), (%d, 3)`, k, k, k)
+				if _, err := db.Execute(q); err != nil {
+					errs <- err
+					return
+				}
+				committed.Add(rowsPerInsert)
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := db.Execute(`SELECT COUNT(*) FROM c`)
+				if err != nil {
+					errs <- err
+					return
+				}
+				n := res.Rows[0][0].I
+				if n%rowsPerInsert != 0 {
+					errs <- fmt.Errorf("torn read: COUNT(*) = %d not a multiple of %d", n, rowsPerInsert)
+					return
+				}
+				if n > committed.Load()+rowsPerInsert*writers {
+					errs <- fmt.Errorf("count %d exceeds committed %d", n, committed.Load())
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < vacuumInterval; i++ {
+			if _, err := db.Execute(`VACUUM c`); err != nil {
+				// Write-lock conflicts with INSERT are legal serialization
+				// failures; anything else is a bug.
+				if !isSerializationFailure(err) {
+					errs <- err
+					return
+				}
+			}
+		}
+	}()
+
+	// Wait for writers, stop readers, drain.
+	waitWriters := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(waitWriters)
+	}()
+	// Close stop once writers are done by polling committed.
+	go func() {
+		for committed.Load() < int64(writers*insertsEach*rowsPerInsert) {
+			select {
+			case <-waitWriters:
+				break
+			default:
+			}
+		}
+		close(stop)
+	}()
+	<-waitWriters
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	res := mustExec(t, db, `SELECT COUNT(*), COUNT(DISTINCT k) FROM c`)
+	want := int64(writers * insertsEach * rowsPerInsert)
+	if res.Rows[0][0].I != want {
+		t.Fatalf("final count = %v, want %d", res.Rows[0][0], want)
+	}
+	if res.Rows[0][1].I != int64(writers*insertsEach) {
+		t.Fatalf("distinct keys = %v", res.Rows[0][1])
+	}
+}
+
+func isSerializationFailure(err error) bool {
+	return err != nil && (contains(err.Error(), "serialization failure") || contains(err.Error(), "write-locked"))
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		func() bool {
+			for i := 0; i+len(sub) <= len(s); i++ {
+				if s[i:i+len(sub)] == sub {
+					return true
+				}
+			}
+			return false
+		}())
+}

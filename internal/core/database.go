@@ -1,0 +1,722 @@
+// Package core is the data plane of §2: the leader node's SQL surface over
+// a cluster of compute nodes. It glues the substrates together — parser and
+// planner at the leader, per-slice compiled execution at the compute nodes,
+// distribution-aware joins, two-phase aggregation, COPY loading,
+// snapshot-isolated commits, VACUUM and ANALYZE — behind one Database type
+// with a single Execute(sql) entry point.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"redshift/internal/catalog"
+	"redshift/internal/cluster"
+	"redshift/internal/compress"
+	"redshift/internal/exec"
+	"redshift/internal/load"
+	"redshift/internal/plan"
+	"redshift/internal/s3sim"
+	"redshift/internal/sql"
+	"redshift/internal/storage"
+	"redshift/internal/txn"
+	"redshift/internal/types"
+)
+
+// Config sizes and tunes a database.
+type Config struct {
+	// Cluster is the data plane topology.
+	Cluster cluster.Config
+	// Mode selects the execution engine; Compiled unless overridden.
+	Mode exec.Mode
+	// Plan tunes the optimizer; zero value uses defaults.
+	Plan plan.Options
+	// DataStore is the object store COPY reads from (the "data lake").
+	// Optional; COPY fails without it.
+	DataStore *s3sim.Store
+	// QuerySlots bounds concurrent SELECTs (the WLM queue); 0 means
+	// unlimited.
+	QuerySlots int
+}
+
+// Database is one warehouse cluster's SQL engine.
+type Database struct {
+	cfg Config
+	cat *catalog.Catalog
+	cl  *cluster.Cluster
+	txm *txn.Manager
+	wlm *WLM
+
+	// ddlMu serializes DDL and utility statements.
+	ddlMu sync.Mutex
+
+	// readOnly rejects writes; set by resize while the parallel copy runs
+	// ("we ... put the original cluster in read-only mode", §3.1).
+	readOnly atomic.Bool
+}
+
+// SetReadOnly toggles write rejection.
+func (db *Database) SetReadOnly(ro bool) { db.readOnly.Store(ro) }
+
+// ReadOnly reports whether writes are rejected.
+func (db *Database) ReadOnly() bool { return db.readOnly.Load() }
+
+// errIfReadOnly guards write statements.
+func (db *Database) errIfReadOnly() error {
+	if db.ReadOnly() {
+		return fmt.Errorf("core: cluster is in read-only mode (resize in progress)")
+	}
+	return nil
+}
+
+// ExecStats reports what one statement cost.
+type ExecStats struct {
+	BlocksRead    int64
+	BlocksSkipped int64
+	RowsScanned   int64
+	NetBytes      int64
+	PlanTime      time.Duration
+	// QueueWait is time spent waiting for a WLM slot.
+	QueueWait time.Duration
+	ExecTime  time.Duration
+}
+
+// Result is one statement's outcome.
+type Result struct {
+	// Schema and Rows are set for row-returning statements.
+	Schema types.Schema
+	Rows   []types.Row
+	// Message summarizes non-row statements ("CREATE TABLE", "COPY 500").
+	Message string
+	Stats   ExecStats
+}
+
+// Open builds an empty database on a fresh cluster.
+func Open(cfg Config) (*Database, error) {
+	if cfg.Plan.BroadcastRows == 0 {
+		cfg.Plan = plan.DefaultOptions()
+	}
+	cl, err := cluster.New(cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{
+		cfg: cfg,
+		cat: catalog.New(),
+		cl:  cl,
+		txm: txn.NewManager(),
+		wlm: NewWLM(cfg.QuerySlots),
+	}, nil
+}
+
+// Catalog exposes the system catalog (admin tooling, backup).
+func (db *Database) Catalog() *catalog.Catalog { return db.cat }
+
+// Cluster exposes the data plane (control plane workflows, backup).
+func (db *Database) Cluster() *cluster.Cluster { return db.cl }
+
+// Txns exposes the transaction manager (restore fast-forwards it).
+func (db *Database) Txns() *txn.Manager { return db.txm }
+
+// Mode returns the configured execution engine.
+func (db *Database) Mode() exec.Mode { return db.cfg.Mode }
+
+// DataStore returns the object store COPY reads from (nil when unset).
+func (db *Database) DataStore() *s3sim.Store { return db.cfg.DataStore }
+
+// WLMStats snapshots the workload manager's counters.
+func (db *Database) WLMStats() WLMStats { return db.wlm.Stats() }
+
+// AdoptCatalog replaces the database's catalog — the final step of
+// restoring a backup into a fresh cluster, after RestoreMetadata has
+// registered the segment skeletons.
+func (db *Database) AdoptCatalog(cat *catalog.Catalog) {
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
+	db.cat = cat
+}
+
+// Execute parses and runs one SQL statement with auto-commit.
+func (db *Database) Execute(query string) (*Result, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecuteStmt(stmt)
+}
+
+// ExecuteStmt runs a parsed statement.
+func (db *Database) ExecuteStmt(stmt sql.Statement) (*Result, error) {
+	switch s := stmt.(type) {
+	case *sql.Select:
+		return db.runSelect(s)
+	case *sql.Explain:
+		return db.runExplain(s)
+	case *sql.CreateTable:
+		return db.runCreateTable(s)
+	case *sql.DropTable:
+		return db.runDropTable(s)
+	case *sql.Truncate:
+		return db.runTruncate(s)
+	case *sql.Insert:
+		return db.runInsert(s)
+	case *sql.Copy:
+		return db.runCopy(s)
+	case *sql.Vacuum:
+		return db.runVacuum(s)
+	case *sql.Analyze:
+		return db.runAnalyze(s)
+	default:
+		return nil, fmt.Errorf("core: unsupported statement %T", stmt)
+	}
+}
+
+func (db *Database) runCreateTable(s *sql.CreateTable) (*Result, error) {
+	if err := db.errIfReadOnly(); err != nil {
+		return nil, err
+	}
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
+	if s.IfNotExists {
+		if _, err := db.cat.Get(s.Name); err == nil {
+			return &Result{Message: "CREATE TABLE (exists, skipped)"}, nil
+		}
+	}
+	def := &catalog.TableDef{Name: s.Name, DistKeyCol: -1}
+	for _, col := range s.Columns {
+		cd := catalog.ColumnDef{
+			Name:    col.Name,
+			Type:    col.Type,
+			NotNull: col.NotNull,
+		}
+		if col.HasEncoding {
+			cd.Encoding = col.Encoding
+		} else {
+			// The dusty knob: default RAW now, chosen by sampling at first
+			// COPY (§1 design goal 5).
+			cd.Encoding = compress.Raw
+			cd.AutoEncoding = true
+		}
+		def.Columns = append(def.Columns, cd)
+	}
+	switch strings.ToUpper(s.DistStyle) {
+	case "ALL":
+		def.DistStyle = catalog.DistAll
+	case "KEY":
+		def.DistStyle = catalog.DistKey
+	case "EVEN":
+		def.DistStyle = catalog.DistEven
+	case "":
+		if s.DistKey != "" {
+			def.DistStyle = catalog.DistKey
+		}
+	default:
+		return nil, fmt.Errorf("core: bad DISTSTYLE %q", s.DistStyle)
+	}
+	if def.DistStyle == catalog.DistKey {
+		if s.DistKey == "" {
+			return nil, fmt.Errorf("core: DISTSTYLE KEY requires DISTKEY(col)")
+		}
+		ord := def.Ordinal(s.DistKey)
+		if ord < 0 {
+			return nil, fmt.Errorf("core: DISTKEY column %q does not exist", s.DistKey)
+		}
+		def.DistKeyCol = ord
+	} else if s.DistKey != "" {
+		return nil, fmt.Errorf("core: DISTKEY requires DISTSTYLE KEY")
+	}
+	if len(s.SortKeys) > 0 {
+		def.SortStyle = catalog.SortCompound
+		if strings.EqualFold(s.SortStyle, "INTERLEAVED") {
+			def.SortStyle = catalog.SortInterleaved
+		}
+		for _, name := range s.SortKeys {
+			ord := def.Ordinal(name)
+			if ord < 0 {
+				return nil, fmt.Errorf("core: SORTKEY column %q does not exist", name)
+			}
+			def.SortKeyCols = append(def.SortKeyCols, ord)
+		}
+	}
+	if err := db.cat.Create(def); err != nil {
+		return nil, err
+	}
+	return &Result{Message: "CREATE TABLE"}, nil
+}
+
+func (db *Database) runDropTable(s *sql.DropTable) (*Result, error) {
+	if err := db.errIfReadOnly(); err != nil {
+		return nil, err
+	}
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
+	def, err := db.cat.Get(s.Name)
+	if err != nil {
+		if s.IfExists {
+			return &Result{Message: "DROP TABLE (missing, skipped)"}, nil
+		}
+		return nil, err
+	}
+	if err := db.cat.Drop(s.Name); err != nil {
+		return nil, err
+	}
+	db.cl.DropTable(def.ID)
+	return &Result{Message: "DROP TABLE"}, nil
+}
+
+func (db *Database) runTruncate(s *sql.Truncate) (*Result, error) {
+	if err := db.errIfReadOnly(); err != nil {
+		return nil, err
+	}
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
+	def, err := db.cat.Get(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	t := db.txm.Begin()
+	if err := db.txm.LockTable(t, def.ID); err != nil {
+		return nil, err
+	}
+	xid, err := db.txm.Reserve(t)
+	if err != nil {
+		db.txm.Abort(t)
+		return nil, err
+	}
+	for sl := 0; sl < db.cl.NumSlices(); sl++ {
+		db.cl.ReplaceSegments(sl, def.ID, nil, xid)
+	}
+	if err := db.txm.Publish(t); err != nil {
+		return nil, err
+	}
+	db.cl.PruneDropped(db.txm.OldestActiveSnapshot())
+	if err := db.cat.ReplaceStats(def.ID, catalog.TableStats{Cols: make([]catalog.ColumnStats, len(def.Columns))}); err != nil {
+		return nil, err
+	}
+	return &Result{Message: "TRUNCATE"}, nil
+}
+
+func (db *Database) runInsert(s *sql.Insert) (*Result, error) {
+	if err := db.errIfReadOnly(); err != nil {
+		return nil, err
+	}
+	def, err := db.cat.Get(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve the column list to ordinals (positional when absent).
+	ords := make([]int, 0, len(def.Columns))
+	if len(s.Columns) == 0 {
+		for i := range def.Columns {
+			ords = append(ords, i)
+		}
+	} else {
+		for _, name := range s.Columns {
+			ord := def.Ordinal(name)
+			if ord < 0 {
+				return nil, fmt.Errorf("core: column %q does not exist", name)
+			}
+			ords = append(ords, ord)
+		}
+	}
+	rows := make([]types.Row, 0, len(s.Rows))
+	for ri, exprRow := range s.Rows {
+		if len(exprRow) != len(ords) {
+			return nil, fmt.Errorf("core: VALUES row %d has %d values, expected %d", ri+1, len(exprRow), len(ords))
+		}
+		row := make(types.Row, len(def.Columns))
+		for i := range row {
+			row[i] = types.NewNull(def.Columns[i].Type)
+		}
+		for i, e := range exprRow {
+			v, err := evalConstExpr(e)
+			if err != nil {
+				return nil, fmt.Errorf("core: VALUES row %d: %w", ri+1, err)
+			}
+			cv, err := coerceInsertValue(v, def.Columns[ords[i]].Type)
+			if err != nil {
+				return nil, fmt.Errorf("core: VALUES row %d column %s: %w", ri+1, def.Columns[ords[i]].Name, err)
+			}
+			row[ords[i]] = cv
+		}
+		rows = append(rows, row)
+	}
+
+	t := db.txm.Begin()
+	if err := db.txm.LockTable(t, def.ID); err != nil {
+		return nil, err
+	}
+	xid, err := db.txm.Reserve(t)
+	if err != nil {
+		db.txm.Abort(t)
+		return nil, err
+	}
+	if _, err := load.AppendRows(db.cl, db.cat, def, rows, load.Options{}, xid); err != nil {
+		db.cl.DiscardXid(def.ID, xid)
+		db.txm.Abort(t)
+		return nil, err
+	}
+	if err := db.txm.Publish(t); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("INSERT %d", len(rows))}, nil
+}
+
+// evalConstExpr binds and evaluates a VALUES expression, which may use
+// literals and arithmetic but no column references.
+func evalConstExpr(e sql.Expr) (types.Value, error) {
+	switch x := e.(type) {
+	case *sql.Literal:
+		return x.Value, nil
+	case *sql.Unary:
+		if x.Op == "-" {
+			v, err := evalConstExpr(x.Expr)
+			if err != nil {
+				return types.Value{}, err
+			}
+			if v.T == types.Float64 {
+				return types.NewFloat(-v.F), nil
+			}
+			return types.NewInt(-v.I), nil
+		}
+	}
+	return types.Value{}, fmt.Errorf("VALUES must be literals, got %s", e)
+}
+
+// coerceInsertValue adapts a literal to the column type.
+func coerceInsertValue(v types.Value, t types.Type) (types.Value, error) {
+	if v.Null {
+		return types.NewNull(t), nil
+	}
+	if v.T == t {
+		return v, nil
+	}
+	switch {
+	case v.T == types.Int64 && t == types.Float64:
+		return types.NewFloat(float64(v.I)), nil
+	case v.T == types.Float64 && t == types.Int64 && v.F == float64(int64(v.F)):
+		return types.NewInt(int64(v.F)), nil
+	case v.T == types.String && t == types.Date:
+		return types.ParseDate(v.S)
+	case v.T == types.String && t == types.Timestamp:
+		return types.ParseTimestamp(v.S)
+	case v.T == types.Int64 && (t == types.Date || t == types.Timestamp):
+		return types.Value{T: t, I: v.I}, nil
+	}
+	return types.Value{}, fmt.Errorf("cannot store %s value %s in %s column", v.T, v, t)
+}
+
+func (db *Database) runCopy(s *sql.Copy) (*Result, error) {
+	if err := db.errIfReadOnly(); err != nil {
+		return nil, err
+	}
+	if db.cfg.DataStore == nil {
+		return nil, fmt.Errorf("core: no data store configured for COPY")
+	}
+	def, err := db.cat.Get(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	t := db.txm.Begin()
+	if err := db.txm.LockTable(t, def.ID); err != nil {
+		return nil, err
+	}
+	xid, err := db.txm.Reserve(t)
+	if err != nil {
+		db.txm.Abort(t)
+		return nil, err
+	}
+	opts := load.Options{
+		Format:     s.Format,
+		Delimiter:  s.Delimiter,
+		CompUpdate: s.CompUpdate,
+		StatUpdate: s.StatUpdate,
+		GZip:       s.GZip,
+	}
+	from := strings.TrimPrefix(s.From, "s3://")
+	start := time.Now()
+	stats, err := load.Run(db.cl, db.cat, def, db.cfg.DataStore, from, opts, xid)
+	if err != nil {
+		db.cl.DiscardXid(def.ID, xid)
+		db.txm.Abort(t)
+		return nil, err
+	}
+	if err := db.txm.Publish(t); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Message: fmt.Sprintf("COPY %d", stats.Rows),
+		Stats:   ExecStats{ExecTime: time.Since(start), RowsScanned: stats.Rows},
+	}, nil
+}
+
+func (db *Database) runVacuum(s *sql.Vacuum) (*Result, error) {
+	if err := db.errIfReadOnly(); err != nil {
+		return nil, err
+	}
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
+	var defs []*catalog.TableDef
+	if s.Table != "" {
+		def, err := db.cat.Get(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		defs = append(defs, def)
+	} else {
+		defs = db.cat.List()
+	}
+	for _, def := range defs {
+		if err := db.vacuumTable(def); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Message: fmt.Sprintf("VACUUM %d table(s)", len(defs))}, nil
+}
+
+// vacuumTable merges each slice's sorted runs into one fully sorted
+// segment and clears the unsorted-rows counter.
+func (db *Database) vacuumTable(def *catalog.TableDef) error {
+	t := db.txm.Begin()
+	if err := db.txm.LockTable(t, def.ID); err != nil {
+		return err
+	}
+	xid, err := db.txm.Reserve(t)
+	if err != nil {
+		db.txm.Abort(t)
+		return err
+	}
+	// The table write lock is held: nothing can commit new segments, so
+	// everything visible right now is exactly what the merge must cover.
+	snapshot := db.txm.CurrentXid()
+	var wg sync.WaitGroup
+	errs := make([]error, db.cl.NumSlices())
+	for sl := 0; sl < db.cl.NumSlices(); sl++ {
+		wg.Add(1)
+		go func(sl int) {
+			defer wg.Done()
+			errs[sl] = db.vacuumSlice(def, sl, snapshot, xid)
+		}(sl)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			db.cl.DiscardXid(def.ID, xid)
+			db.txm.Abort(t)
+			return err
+		}
+	}
+	if err := db.txm.Publish(t); err != nil {
+		return err
+	}
+	db.cl.PruneDropped(db.txm.OldestActiveSnapshot())
+	stats, err := db.cat.Stats(def.ID)
+	if err != nil {
+		return err
+	}
+	stats.UnsortedRows = 0
+	return db.cat.ReplaceStats(def.ID, stats)
+}
+
+func (db *Database) vacuumSlice(def *catalog.TableDef, sl int, snapshot, xid int64) error {
+	segs := db.cl.VisibleSegments(sl, def.ID, snapshot)
+	if len(segs) <= 1 && (len(segs) == 0 || segs[0].Sorted) {
+		return nil // already a single sorted run
+	}
+	var rows []types.Row
+	for _, seg := range segs {
+		segRows, err := readSegmentRows(seg, db.cl)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, segRows...)
+	}
+	sorted, err := load.SortRows(def, rows)
+	if err != nil {
+		return err
+	}
+	encs, err := db.cat.Encodings(def.ID)
+	if err != nil {
+		return err
+	}
+	b, err := storage.NewBuilder(def.ID, int32(sl), 0, def.Schema(), encs, db.cl.Config().BlockCap)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := b.Append(r); err != nil {
+			return err
+		}
+	}
+	seg, err := b.Finish(sorted || def.SortStyle == catalog.SortNone)
+	if err != nil {
+		return err
+	}
+	db.cl.ReplaceSegments(sl, def.ID, []*storage.Segment{seg}, xid)
+	return nil
+}
+
+// readSegmentRows decodes every row of a segment, page-faulting evicted
+// blocks through the cluster.
+func readSegmentRows(seg *storage.Segment, cl *cluster.Cluster) ([]types.Row, error) {
+	cols := make([]*types.Vector, seg.Schema.Len())
+	for c := range cols {
+		out := types.NewVector(seg.Schema.Columns[c].Type, seg.Rows)
+		for _, blk := range seg.Cols[c] {
+			v, err := blk.Decode()
+			if err != nil {
+				if ferr := cl.FetchBlock(blk); ferr != nil {
+					return nil, ferr
+				}
+				if v, err = blk.Decode(); err != nil {
+					return nil, err
+				}
+			}
+			for i := 0; i < v.Len(); i++ {
+				out.Append(v.Get(i))
+			}
+		}
+		cols[c] = out
+	}
+	rows := make([]types.Row, seg.Rows)
+	for i := range rows {
+		row := make(types.Row, len(cols))
+		for c, v := range cols {
+			row[c] = v.Get(i)
+		}
+		rows[i] = row
+	}
+	return rows, nil
+}
+
+// ReadTable returns every logical row of a table visible right now —
+// resize's node-to-node copy and the admin tools use it. DISTSTYLE ALL
+// tables are read from one node only, so duplicated copies count once.
+func (db *Database) ReadTable(name string) ([]types.Row, error) {
+	def, err := db.cat.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	snapshot := db.txm.CurrentXid()
+	slices := db.cl.NumSlices()
+	if def.DistStyle == catalog.DistAll {
+		slices = db.cl.Config().SlicesPerNode // first node's copy only
+	}
+	var rows []types.Row
+	for sl := 0; sl < slices; sl++ {
+		for _, seg := range db.cl.VisibleSegments(sl, def.ID, snapshot) {
+			segRows, err := readSegmentRows(seg, db.cl)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, segRows...)
+		}
+	}
+	return rows, nil
+}
+
+func (db *Database) runAnalyze(s *sql.Analyze) (*Result, error) {
+	var defs []*catalog.TableDef
+	if s.Table != "" {
+		def, err := db.cat.Get(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		defs = append(defs, def)
+	} else {
+		defs = db.cat.List()
+	}
+	if s.Compression {
+		return db.analyzeCompression(defs)
+	}
+	snapshot := db.txm.CurrentXid()
+	for _, def := range defs {
+		var rows []types.Row
+		for sl := 0; sl < db.cl.NumSlices(); sl++ {
+			for _, seg := range db.cl.VisibleSegments(sl, def.ID, snapshot) {
+				segRows, err := readSegmentRows(seg, db.cl)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, segRows...)
+			}
+		}
+		stats := load.ComputeStats(def, rows)
+		if def.DistStyle == catalog.DistAll && db.cl.NumNodes() > 0 {
+			stats.Rows /= int64(db.cl.NumNodes()) // logical rows, not copies
+		}
+		if err := db.cat.ReplaceStats(def.ID, stats); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Message: fmt.Sprintf("ANALYZE %d table(s)", len(defs))}, nil
+}
+
+// analyzeCompression reports per-encoding sizes on a sample of each column,
+// like ANALYZE COMPRESSION.
+func (db *Database) analyzeCompression(defs []*catalog.TableDef) (*Result, error) {
+	res := &Result{
+		Schema: types.NewSchema(
+			types.Column{Name: "table", Type: types.String},
+			types.Column{Name: "column", Type: types.String},
+			types.Column{Name: "encoding", Type: types.String},
+			types.Column{Name: "est_reduction_pct", Type: types.Float64},
+		),
+	}
+	snapshot := db.txm.CurrentXid()
+	for _, def := range defs {
+		for ci, col := range def.Columns {
+			sample := types.NewVector(col.Type, 0)
+			for sl := 0; sl < db.cl.NumSlices() && sample.Len() < 4096; sl++ {
+				for _, seg := range db.cl.VisibleSegments(sl, def.ID, snapshot) {
+					if seg.NumBlocks() == 0 {
+						continue
+					}
+					v, err := seg.Block(ci, 0).Decode()
+					if err != nil {
+						continue
+					}
+					for i := 0; i < v.Len() && sample.Len() < 4096; i++ {
+						sample.Append(v.Get(i))
+					}
+				}
+			}
+			if sample.Len() == 0 {
+				continue
+			}
+			results := compress.Analyze(sample)
+			for _, r := range results {
+				if !r.Applicable {
+					continue
+				}
+				reduction := (1 - 1/r.Ratio) * 100
+				res.Rows = append(res.Rows, types.Row{
+					types.NewString(def.Name),
+					types.NewString(col.Name),
+					types.NewString(r.Encoding.String()),
+					types.NewFloat(reduction),
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+func (db *Database) runExplain(s *sql.Explain) (*Result, error) {
+	sel, ok := s.Stmt.(*sql.Select)
+	if !ok {
+		return nil, fmt.Errorf("core: EXPLAIN supports SELECT only")
+	}
+	p, err := plan.BuildWith(db.cat, sel, db.cfg.Plan)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Schema: types.NewSchema(types.Column{Name: "QUERY PLAN", Type: types.String})}
+	for _, line := range strings.Split(strings.TrimRight(p.Explain(), "\n"), "\n") {
+		res.Rows = append(res.Rows, types.Row{types.NewString(line)})
+	}
+	return res, nil
+}

@@ -1,0 +1,499 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"redshift/internal/catalog"
+	"redshift/internal/exec"
+	"redshift/internal/plan"
+	"redshift/internal/sql"
+	"redshift/internal/types"
+)
+
+// runSelect executes a SELECT: plan at the leader, per-slice parallel
+// execution with strategy-appropriate data movement, final merge at the
+// leader (§2.1's query processing flow).
+func (db *Database) runSelect(s *sql.Select) (*Result, error) {
+	if s.From == nil {
+		return db.runLeaderSelect(s)
+	}
+	queueWait := db.wlm.Acquire()
+	defer db.wlm.Release()
+	planStart := time.Now()
+	p, err := plan.BuildWith(db.cat, s, db.cfg.Plan)
+	if err != nil {
+		return nil, err
+	}
+	planTime := time.Since(planStart)
+
+	q := &queryRun{
+		db:       db,
+		p:        p,
+		mode:     db.cfg.Mode,
+		snapshot: db.txm.CurrentXid(),
+		scans:    &exec.ScanStats{},
+	}
+	netBefore := db.cl.NetBytes()
+	execStart := time.Now()
+	final, err := q.execute()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Schema: p.Schema(),
+		Stats: ExecStats{
+			BlocksRead:    q.scans.BlocksRead.Load(),
+			BlocksSkipped: q.scans.BlocksSkipped.Load(),
+			RowsScanned:   q.scans.RowsRead.Load(),
+			NetBytes:      db.cl.NetBytes() - netBefore,
+			PlanTime:      planTime,
+			QueueWait:     queueWait,
+			ExecTime:      time.Since(execStart),
+		},
+	}
+	for i := 0; i < final.N; i++ {
+		res.Rows = append(res.Rows, final.Row(i))
+	}
+	return res, nil
+}
+
+// runLeaderSelect evaluates a FROM-less SELECT entirely at the leader —
+// the connection-test queries every driver sends (SELECT 1).
+func (db *Database) runLeaderSelect(s *sql.Select) (*Result, error) {
+	if s.Distinct || len(s.GroupBy) > 0 || s.Having != nil || len(s.Joins) > 0 {
+		return nil, fmt.Errorf("core: clauses other than the select list need a FROM table")
+	}
+	res := &Result{}
+	var row types.Row
+	for _, item := range s.Items {
+		if item.Star {
+			return nil, fmt.Errorf("core: SELECT * needs a FROM table")
+		}
+		bound, err := plan.BindScalar(item.Expr)
+		if err != nil {
+			return nil, err
+		}
+		v, err := exec.EvalRow(bound, nil)
+		if err != nil {
+			return nil, err
+		}
+		name := item.Alias
+		if name == "" {
+			name = strings.ToLower(item.Expr.String())
+		}
+		res.Schema.Columns = append(res.Schema.Columns, types.Column{Name: name, Type: bound.Type()})
+		row = append(row, v)
+	}
+	if s.Limit != 0 {
+		res.Rows = []types.Row{row}
+	}
+	return res, nil
+}
+
+// queryRun carries one SELECT's execution state.
+type queryRun struct {
+	db       *Database
+	p        *plan.Plan
+	mode     exec.Mode
+	snapshot int64
+	scans    *exec.ScanStats
+}
+
+// execute runs the distributed pipeline and returns the final batch.
+func (q *queryRun) execute() (*exec.Batch, error) {
+	nslices := q.db.cl.NumSlices()
+
+	// Stage 1: scan the base table on every slice. A DISTSTYLE ALL base
+	// table is duplicated per node, so only the first node's slices scan it
+	// (reading every copy would multiply the rows).
+	base := q.p.Tables[0]
+	spn := q.db.cl.Config().SlicesPerNode
+	left, err := q.parallelSlices(nslices, func(sl int) ([]*exec.Batch, error) {
+		if base.Def.DistStyle == catalog.DistAll && sl >= spn {
+			return nil, nil
+		}
+		return q.scanTable(sl, base)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 2: apply joins left-to-right with planner-chosen movement.
+	for _, step := range q.p.Joins {
+		if step.Strategy == plan.StrategyShuffle {
+			left, err = q.exchange(left, step.LeftKeys)
+			if err != nil {
+				return nil, err
+			}
+		}
+		builds, err := q.buildSides(step)
+		if err != nil {
+			return nil, err
+		}
+		rightWidth := len(q.p.Tables[step.Right].Def.Columns)
+		step := step
+		left, err = q.parallelSlices(nslices, func(sl int) ([]*exec.Batch, error) {
+			join, err := exec.NewHashJoin(q.mode, step, rightWidth)
+			if err != nil {
+				return nil, err
+			}
+			for _, b := range builds[sl] {
+				if err := join.Build(b); err != nil {
+					return nil, err
+				}
+			}
+			var out []*exec.Batch
+			for _, b := range left[sl] {
+				joined, err := join.Probe(b)
+				if err != nil {
+					return nil, err
+				}
+				if joined.N > 0 {
+					out = append(out, joined)
+				}
+			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Stage 3: residual WHERE.
+	if q.p.Where != nil {
+		where := q.p.Where
+		var err error
+		left, err = q.parallelSlices(nslices, func(sl int) ([]*exec.Batch, error) {
+			f, err := exec.NewFilter(q.mode, where)
+			if err != nil {
+				return nil, err
+			}
+			var out []*exec.Batch
+			for _, b := range left[sl] {
+				fb, err := f.Apply(b)
+				if err != nil {
+					return nil, err
+				}
+				if fb.N > 0 {
+					out = append(out, fb)
+				}
+			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if q.p.HasAgg {
+		return q.aggregate(left)
+	}
+	return q.project(left)
+}
+
+// aggregate runs the two-phase aggregation: partial per slice, merge and
+// finalize at the leader.
+func (q *queryRun) aggregate(left [][]*exec.Batch) (*exec.Batch, error) {
+	nslices := q.db.cl.NumSlices()
+	tables := make([]*exec.GroupTable, nslices)
+	var wg sync.WaitGroup
+	errs := make([]error, nslices)
+	for sl := 0; sl < nslices; sl++ {
+		wg.Add(1)
+		go func(sl int) {
+			defer wg.Done()
+			gt, err := exec.NewGroupTable(q.mode, q.p.GroupBy, q.p.Aggs)
+			if err != nil {
+				errs[sl] = err
+				return
+			}
+			for _, b := range left[sl] {
+				if err := gt.Consume(b); err != nil {
+					errs[sl] = err
+					return
+				}
+			}
+			tables[sl] = gt
+		}(sl)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Leader merge. Partial-state shipping is accounted approximately:
+	// each slice sends its group count × a state-size estimate.
+	leader := tables[0]
+	for sl := 1; sl < nslices; sl++ {
+		q.db.cl.AccountTransfer(q.db.cl.Slice(sl).Node.ID, -1, int64(tables[sl].NumGroups())*64)
+		leader.Merge(tables[sl])
+	}
+	aggBatch, err := leader.Result()
+	if err != nil {
+		return nil, err
+	}
+	if q.p.Having != nil {
+		f, err := exec.NewFilter(q.mode, q.p.Having)
+		if err != nil {
+			return nil, err
+		}
+		if aggBatch, err = f.Apply(aggBatch); err != nil {
+			return nil, err
+		}
+	}
+	proj, err := exec.NewProjector(q.mode, q.p.Project)
+	if err != nil {
+		return nil, err
+	}
+	out, err := proj.Apply(aggBatch)
+	if err != nil {
+		return nil, err
+	}
+	return q.finalize(out)
+}
+
+// project handles the non-aggregating tail: slice-side projection (plus
+// partial distinct / top-N when profitable), leader merge.
+func (q *queryRun) project(left [][]*exec.Batch) (*exec.Batch, error) {
+	nslices := q.db.cl.NumSlices()
+	sliceTopN := len(q.p.OrderBy) > 0 && q.p.Limit >= 0 && !q.p.Distinct
+	projected, err := q.parallelSlices(nslices, func(sl int) ([]*exec.Batch, error) {
+		proj, err := exec.NewProjector(q.mode, q.p.Project)
+		if err != nil {
+			return nil, err
+		}
+		merged := exec.NewBatch(len(q.p.Project))
+		for _, b := range left[sl] {
+			pb, err := proj.Apply(b)
+			if err != nil {
+				return nil, err
+			}
+			if err := merged.Concat(pb); err != nil {
+				return nil, err
+			}
+		}
+		if q.p.Distinct {
+			merged = exec.Distinct(merged) // partial dedup before transfer
+		}
+		if sliceTopN {
+			merged = exec.SortBatch(merged, q.p.OrderBy)
+			merged = exec.TopN(merged, q.p.Limit)
+		}
+		return []*exec.Batch{merged}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Ship per-slice results to the leader.
+	var perSlice []*exec.Batch
+	for sl, bs := range projected {
+		b := bs[0]
+		q.db.cl.AccountTransfer(q.db.cl.Slice(sl).Node.ID, -1, b.ByteSize())
+		perSlice = append(perSlice, b)
+	}
+	var out *exec.Batch
+	if sliceTopN {
+		out, err = exec.MergeSorted(perSlice, q.p.OrderBy)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		out = exec.NewBatch(len(q.p.Project))
+		for _, b := range perSlice {
+			if b.N == 0 {
+				continue
+			}
+			if err := out.Concat(b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return q.finalize(out)
+}
+
+// finalize applies DISTINCT, ORDER BY and LIMIT at the leader.
+func (q *queryRun) finalize(b *exec.Batch) (*exec.Batch, error) {
+	if q.p.Distinct {
+		b = exec.Distinct(b)
+	}
+	if len(q.p.OrderBy) > 0 {
+		b = exec.SortBatch(b, q.p.OrderBy)
+	}
+	b = exec.TopN(b, q.p.Limit)
+	return b, nil
+}
+
+// scanTable reads one table's visible segments on one slice, applying the
+// pushed filter and zone-map pruning.
+func (q *queryRun) scanTable(sl int, scan *plan.TableScan) ([]*exec.Batch, error) {
+	scanner, err := exec.NewScanner(q.mode, scan, q.db.cl.FetchBlock, q.scans)
+	if err != nil {
+		return nil, err
+	}
+	var out []*exec.Batch
+	for _, seg := range q.db.cl.VisibleSegments(sl, scan.Def.ID, q.snapshot) {
+		err := scanner.ScanSegment(seg, func(b *exec.Batch) error {
+			out = append(out, b)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// buildSides materializes the join build input for every slice according
+// to the strategy.
+func (q *queryRun) buildSides(step plan.JoinStep) ([][]*exec.Batch, error) {
+	nslices := q.db.cl.NumSlices()
+	right := q.p.Tables[step.Right]
+
+	switch step.Strategy {
+	case plan.StrategyCollocated:
+		// Each slice joins its local shard: zero movement.
+		return q.parallelSlices(nslices, func(sl int) ([]*exec.Batch, error) {
+			return q.scanTable(sl, right)
+		})
+
+	case plan.StrategyBroadcast:
+		if right.Def.DistStyle == catalog.DistAll {
+			// The table is already duplicated per node; every slice reads
+			// its node's copy locally.
+			spn := q.db.cl.Config().SlicesPerNode
+			return q.parallelSlices(nslices, func(sl int) ([]*exec.Batch, error) {
+				home := (sl / spn) * spn
+				return q.scanTable(home, right)
+			})
+		}
+		// Gather the full table at the leader, then broadcast to every
+		// node — and account both movements.
+		var gathered []*exec.Batch
+		var gatherBytes int64
+		for sl := 0; sl < nslices; sl++ {
+			batches, err := q.scanTable(sl, right)
+			if err != nil {
+				return nil, err
+			}
+			for _, b := range batches {
+				q.db.cl.AccountTransfer(q.db.cl.Slice(sl).Node.ID, -1, b.ByteSize())
+				gatherBytes += b.ByteSize()
+				gathered = append(gathered, b)
+			}
+		}
+		for n := 0; n < q.db.cl.NumNodes(); n++ {
+			q.db.cl.AccountTransfer(-1, n, gatherBytes)
+		}
+		out := make([][]*exec.Batch, nslices)
+		for sl := range out {
+			out[sl] = gathered
+		}
+		return out, nil
+
+	case plan.StrategyShuffle:
+		// Scan the inner side everywhere and repartition it by join key.
+		scanned, err := q.parallelSlices(nslices, func(sl int) ([]*exec.Batch, error) {
+			return q.scanTable(sl, right)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return q.exchange(scanned, step.RightKeys)
+
+	default:
+		return nil, fmt.Errorf("core: unknown join strategy %v", step.Strategy)
+	}
+}
+
+// exchange repartitions per-slice batch streams by the hash of the key
+// expressions — the redistribution step of a shuffle join — accounting
+// every byte that crosses a node boundary.
+func (q *queryRun) exchange(in [][]*exec.Batch, keys []plan.Expr) ([][]*exec.Batch, error) {
+	nslices := q.db.cl.NumSlices()
+	// buckets[src][dst] accumulates rows moving src → dst.
+	buckets := make([][]*exec.Batch, nslices)
+	_, err := q.parallelSlices(nslices, func(src int) ([]*exec.Batch, error) {
+		evs := make([]*exec.Evaluator, len(keys))
+		for i, k := range keys {
+			ev, err := exec.NewEvaluator(q.mode, k)
+			if err != nil {
+				return nil, err
+			}
+			evs[i] = ev
+		}
+		local := make([]*exec.Batch, nslices)
+		for _, b := range in[src] {
+			keyVecs := make([]*types.Vector, len(evs))
+			for i, ev := range evs {
+				v, err := ev.Eval(b)
+				if err != nil {
+					return nil, err
+				}
+				keyVecs[i] = v
+			}
+			sel := make([][]int, nslices)
+			keyRow := make([]types.Value, len(keyVecs))
+			for r := 0; r < b.N; r++ {
+				for i, v := range keyVecs {
+					keyRow[i] = v.Get(r)
+				}
+				dst := int(exec.HashValues(keyRow) % uint64(nslices))
+				sel[dst] = append(sel[dst], r)
+			}
+			for dst, rows := range sel {
+				if len(rows) == 0 {
+					continue
+				}
+				part := b.Gather(rows)
+				if local[dst] == nil {
+					local[dst] = part
+				} else if err := local[dst].Concat(part); err != nil {
+					return nil, err
+				}
+			}
+		}
+		buckets[src] = local
+		return nil, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]*exec.Batch, nslices)
+	for src := 0; src < nslices; src++ {
+		for dst, b := range buckets[src] {
+			if b == nil || b.N == 0 {
+				continue
+			}
+			q.db.cl.AccountTransfer(q.db.cl.Slice(src).Node.ID, q.db.cl.Slice(dst).Node.ID, b.ByteSize())
+			out[dst] = append(out[dst], b)
+		}
+	}
+	return out, nil
+}
+
+// parallelSlices runs fn for every slice concurrently and collects the
+// per-slice outputs. Slices on failed nodes cause an error unless their
+// blocks can fail over (the scanner's fetch path handles that).
+func (q *queryRun) parallelSlices(n int, fn func(sl int) ([]*exec.Batch, error)) ([][]*exec.Batch, error) {
+	out := make([][]*exec.Batch, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for sl := 0; sl < n; sl++ {
+		wg.Add(1)
+		go func(sl int) {
+			defer wg.Done()
+			out[sl], errs[sl] = fn(sl)
+		}(sl)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

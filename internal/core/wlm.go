@@ -1,0 +1,100 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// WLM is the workload manager: a fixed number of query slots with a FIFO
+// queue, the §4 mechanism by which "resources [are] distributed across many
+// concurrent queries". Admin statements bypass it; only SELECT competes for
+// slots.
+type WLM struct {
+	slots chan struct{}
+
+	mu         sync.Mutex
+	active     int
+	peakActive int
+	queued     int
+	peakQueued int
+	totalRun   int64
+	totalWait  time.Duration
+}
+
+// NewWLM builds a manager with the given concurrency (Redshift's default
+// queue has 5 slots). n <= 0 disables queuing.
+func NewWLM(n int) *WLM {
+	if n <= 0 {
+		return &WLM{}
+	}
+	return &WLM{slots: make(chan struct{}, n)}
+}
+
+// Acquire blocks until a slot is free and returns the time spent queued.
+func (w *WLM) Acquire() time.Duration {
+	if w.slots == nil {
+		w.mu.Lock()
+		w.admitLocked()
+		w.mu.Unlock()
+		return 0
+	}
+	w.mu.Lock()
+	w.queued++
+	if w.queued > w.peakQueued {
+		w.peakQueued = w.queued
+	}
+	w.mu.Unlock()
+
+	start := time.Now()
+	w.slots <- struct{}{}
+	wait := time.Since(start)
+
+	w.mu.Lock()
+	w.queued--
+	w.totalWait += wait
+	w.admitLocked()
+	w.mu.Unlock()
+	return wait
+}
+
+func (w *WLM) admitLocked() {
+	w.active++
+	w.totalRun++
+	if w.active > w.peakActive {
+		w.peakActive = w.active
+	}
+}
+
+// Release frees the slot.
+func (w *WLM) Release() {
+	w.mu.Lock()
+	w.active--
+	w.mu.Unlock()
+	if w.slots != nil {
+		<-w.slots
+	}
+}
+
+// WLMStats is a snapshot of the manager's counters.
+type WLMStats struct {
+	Active        int
+	PeakActive    int
+	Queued        int
+	PeakQueued    int
+	TotalQueries  int64
+	TotalWaitTime time.Duration
+}
+
+// Stats snapshots the counters.
+func (w *WLM) Stats() WLMStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return WLMStats{
+		Active:        w.active,
+		PeakActive:    w.peakActive,
+		Queued:        w.queued,
+		PeakQueued:    w.peakQueued,
+		TotalQueries:  w.totalRun,
+		TotalWaitTime: w.totalWait,
+	}
+}

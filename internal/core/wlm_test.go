@@ -1,0 +1,127 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"redshift/internal/cluster"
+	"redshift/internal/exec"
+	"redshift/internal/s3sim"
+)
+
+func TestWLMLimitsConcurrency(t *testing.T) {
+	db, err := Open(Config{
+		Cluster:    cluster.Config{Nodes: 1, SlicesPerNode: 2, BlockCap: 64},
+		DataStore:  s3sim.New(),
+		QuerySlots: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedSales(t, db)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := db.Execute(`SELECT product_id, SUM(qty) FROM sales GROUP BY product_id`); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	stats := db.WLMStats()
+	if stats.PeakActive > 2 {
+		t.Errorf("peak concurrent queries = %d, slots = 2", stats.PeakActive)
+	}
+	if stats.TotalQueries < 16 {
+		t.Errorf("total queries = %d", stats.TotalQueries)
+	}
+	if stats.Active != 0 || stats.Queued != 0 {
+		t.Errorf("counters not drained: %+v", stats)
+	}
+}
+
+func TestWLMQueueWaitReported(t *testing.T) {
+	db, err := Open(Config{
+		Cluster:    cluster.Config{Nodes: 1, SlicesPerNode: 1, BlockCap: 64},
+		DataStore:  s3sim.New(),
+		QuerySlots: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedSales(t, db)
+	var wg sync.WaitGroup
+	var sawWait bool
+	var mu sync.Mutex
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := db.Execute(`SELECT COUNT(*) FROM sales WHERE qty > 1`)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if res.Stats.QueueWait > 0 {
+				mu.Lock()
+				sawWait = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if !sawWait {
+		t.Error("no query ever reported queue wait with 1 slot and 8 clients")
+	}
+}
+
+func TestWLMUnlimitedByDefault(t *testing.T) {
+	db := openDB(t, exec.Compiled)
+	seedSales(t, db)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			db.Execute(`SELECT COUNT(*) FROM sales`)
+		}()
+	}
+	wg.Wait()
+	stats := db.WLMStats()
+	if stats.TotalQueries != 8 {
+		t.Errorf("total = %d", stats.TotalQueries)
+	}
+	if stats.TotalWaitTime != 0 {
+		t.Errorf("unlimited WLM accumulated wait %v", stats.TotalWaitTime)
+	}
+}
+
+func TestWLMAdminStatementsBypassQueue(t *testing.T) {
+	db, err := Open(Config{
+		Cluster:    cluster.Config{Nodes: 1, SlicesPerNode: 1, BlockCap: 64},
+		DataStore:  s3sim.New(),
+		QuerySlots: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate the only slot with a held acquire, then run DDL + INSERT:
+	// they must not block behind the queue.
+	db.wlm.Acquire()
+	defer db.wlm.Release()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		mustExec(t, db, `CREATE TABLE free (a BIGINT)`)
+		mustExec(t, db, `INSERT INTO free VALUES (1)`)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("admin statements blocked behind the WLM queue")
+	}
+}

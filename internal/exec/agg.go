@@ -1,0 +1,355 @@
+package exec
+
+import (
+	"fmt"
+
+	"redshift/internal/hll"
+	"redshift/internal/plan"
+	"redshift/internal/sql"
+	"redshift/internal/types"
+)
+
+// AggState is one aggregate's accumulator. States are mergeable, which is
+// what makes aggregation two-phase: every slice folds its local rows into a
+// state, the leader merges the per-slice states (§2.1: "intermediate
+// results are sent back to the leader node for final aggregation").
+type AggState interface {
+	// Update folds one input value (already evaluated; never called for
+	// COUNT(*), which uses UpdateRow).
+	Update(v types.Value)
+	// UpdateRow folds one row's existence (COUNT(*)).
+	UpdateRow()
+	// Merge folds another state of the same kind.
+	Merge(o AggState)
+	// Final produces the aggregate result.
+	Final() types.Value
+}
+
+// NewAggState builds the accumulator for a spec.
+func NewAggState(spec plan.AggSpec) AggState {
+	switch {
+	case spec.Func == sql.FuncCount && spec.Approx:
+		return &hllState{sk: hll.New()}
+	case spec.Func == sql.FuncCount && spec.Distinct:
+		return &distinctState{seen: map[string]struct{}{}}
+	case spec.Func == sql.FuncCount:
+		return &countState{}
+	case spec.Func == sql.FuncSum && spec.T == types.Float64:
+		return &sumFloatState{}
+	case spec.Func == sql.FuncSum:
+		return &sumIntState{}
+	case spec.Func == sql.FuncAvg:
+		return &avgState{}
+	case spec.Func == sql.FuncMin:
+		return &minMaxState{t: spec.T, min: true}
+	case spec.Func == sql.FuncMax:
+		return &minMaxState{t: spec.T}
+	default:
+		panic(fmt.Sprintf("exec: no aggregate state for %s", spec.Func))
+	}
+}
+
+type countState struct{ n int64 }
+
+func (s *countState) Update(v types.Value) {
+	if !v.Null {
+		s.n++
+	}
+}
+func (s *countState) UpdateRow()         { s.n++ }
+func (s *countState) Merge(o AggState)   { s.n += o.(*countState).n }
+func (s *countState) Final() types.Value { return types.NewInt(s.n) }
+
+type sumIntState struct {
+	sum  int64
+	seen bool
+}
+
+func (s *sumIntState) Update(v types.Value) {
+	if !v.Null {
+		s.sum += v.I
+		s.seen = true
+	}
+}
+func (s *sumIntState) UpdateRow() {}
+func (s *sumIntState) Merge(o AggState) {
+	so := o.(*sumIntState)
+	s.sum += so.sum
+	s.seen = s.seen || so.seen
+}
+func (s *sumIntState) Final() types.Value {
+	if !s.seen {
+		return types.NewNull(types.Int64)
+	}
+	return types.NewInt(s.sum)
+}
+
+type sumFloatState struct {
+	sum  float64
+	seen bool
+}
+
+func (s *sumFloatState) Update(v types.Value) {
+	if !v.Null {
+		s.sum += v.AsFloat()
+		s.seen = true
+	}
+}
+func (s *sumFloatState) UpdateRow() {}
+func (s *sumFloatState) Merge(o AggState) {
+	so := o.(*sumFloatState)
+	s.sum += so.sum
+	s.seen = s.seen || so.seen
+}
+func (s *sumFloatState) Final() types.Value {
+	if !s.seen {
+		return types.NewNull(types.Float64)
+	}
+	return types.NewFloat(s.sum)
+}
+
+type avgState struct {
+	sum float64
+	n   int64
+}
+
+func (s *avgState) Update(v types.Value) {
+	if !v.Null {
+		s.sum += v.AsFloat()
+		s.n++
+	}
+}
+func (s *avgState) UpdateRow() {}
+func (s *avgState) Merge(o AggState) {
+	so := o.(*avgState)
+	s.sum += so.sum
+	s.n += so.n
+}
+func (s *avgState) Final() types.Value {
+	if s.n == 0 {
+		return types.NewNull(types.Float64)
+	}
+	return types.NewFloat(s.sum / float64(s.n))
+}
+
+type minMaxState struct {
+	t    types.Type
+	min  bool
+	best types.Value
+	seen bool
+}
+
+func (s *minMaxState) Update(v types.Value) {
+	if v.Null {
+		return
+	}
+	if !s.seen {
+		s.best, s.seen = v, true
+		return
+	}
+	c := types.Compare(v, s.best)
+	if s.min && c < 0 || !s.min && c > 0 {
+		s.best = v
+	}
+}
+func (s *minMaxState) UpdateRow() {}
+func (s *minMaxState) Merge(o AggState) {
+	so := o.(*minMaxState)
+	if so.seen {
+		s.Update(so.best)
+	}
+}
+func (s *minMaxState) Final() types.Value {
+	if !s.seen {
+		return types.NewNull(s.t)
+	}
+	return s.best
+}
+
+// distinctState implements exact COUNT(DISTINCT x) by shipping the distinct
+// value set from slices to the leader. Exact distinct does not decompose
+// into constant-size partials — which is precisely why §4 argues for
+// "distributed approximate equivalents for all non-linear exact operations".
+type distinctState struct {
+	seen map[string]struct{}
+}
+
+func (s *distinctState) Update(v types.Value) {
+	if !v.Null {
+		s.seen[KeyEncoder([]types.Value{v})] = struct{}{}
+	}
+}
+func (s *distinctState) UpdateRow() {}
+func (s *distinctState) Merge(o AggState) {
+	for k := range o.(*distinctState).seen {
+		s.seen[k] = struct{}{}
+	}
+}
+func (s *distinctState) Final() types.Value { return types.NewInt(int64(len(s.seen))) }
+
+// hllState implements APPROXIMATE COUNT(DISTINCT x) with a constant-size
+// mergeable sketch.
+type hllState struct {
+	sk *hll.Sketch
+}
+
+func (s *hllState) Update(v types.Value) {
+	if v.Null {
+		return
+	}
+	s.sk.AddString(KeyEncoder([]types.Value{v}))
+}
+func (s *hllState) UpdateRow()         {}
+func (s *hllState) Merge(o AggState)   { s.sk.Merge(o.(*hllState).sk) }
+func (s *hllState) Final() types.Value { return types.NewInt(s.sk.Estimate()) }
+
+// group is one grouping key's accumulators.
+type group struct {
+	keys   []types.Value
+	states []AggState
+}
+
+// GroupTable is a hash-aggregation operator usable as both the partial
+// (slice) and final (leader) phase.
+type GroupTable struct {
+	mode     Mode
+	specs    []plan.AggSpec
+	groupEvs []*Evaluator
+	argEvs   []*Evaluator // aligned with specs; nil for COUNT(*)
+	groups   map[string]*group
+	order    []string // deterministic iteration
+}
+
+// NewGroupTable prepares a hash aggregation.
+func NewGroupTable(mode Mode, groupBy []plan.Expr, specs []plan.AggSpec) (*GroupTable, error) {
+	g := &GroupTable{
+		mode:   mode,
+		specs:  specs,
+		groups: map[string]*group{},
+	}
+	for _, e := range groupBy {
+		ev, err := NewEvaluator(mode, e)
+		if err != nil {
+			return nil, err
+		}
+		g.groupEvs = append(g.groupEvs, ev)
+	}
+	for _, spec := range specs {
+		if spec.Arg == nil {
+			g.argEvs = append(g.argEvs, nil)
+			continue
+		}
+		ev, err := NewEvaluator(mode, spec.Arg)
+		if err != nil {
+			return nil, err
+		}
+		g.argEvs = append(g.argEvs, ev)
+	}
+	return g, nil
+}
+
+// Consume folds one batch of input rows.
+func (g *GroupTable) Consume(b *Batch) error {
+	if b.N == 0 {
+		return nil
+	}
+	keyVecs := make([]*types.Vector, len(g.groupEvs))
+	for i, ev := range g.groupEvs {
+		v, err := ev.Eval(b)
+		if err != nil {
+			return err
+		}
+		keyVecs[i] = v
+	}
+	argVecs := make([]*types.Vector, len(g.argEvs))
+	for i, ev := range g.argEvs {
+		if ev == nil {
+			continue
+		}
+		v, err := ev.Eval(b)
+		if err != nil {
+			return err
+		}
+		argVecs[i] = v
+	}
+	keyRow := make([]types.Value, len(keyVecs))
+	for r := 0; r < b.N; r++ {
+		for i, v := range keyVecs {
+			keyRow[i] = v.Get(r)
+		}
+		grp := g.lookup(keyRow)
+		for i := range g.specs {
+			if argVecs[i] == nil {
+				grp.states[i].UpdateRow()
+			} else {
+				grp.states[i].Update(argVecs[i].Get(r))
+			}
+		}
+	}
+	return nil
+}
+
+func (g *GroupTable) lookup(keyRow []types.Value) *group {
+	k := KeyEncoder(keyRow)
+	grp, ok := g.groups[k]
+	if !ok {
+		grp = &group{keys: append([]types.Value(nil), keyRow...)}
+		for _, spec := range g.specs {
+			grp.states = append(grp.states, NewAggState(spec))
+		}
+		g.groups[k] = grp
+		g.order = append(g.order, k)
+	}
+	return grp
+}
+
+// Merge folds another table's groups into g (the leader's final phase).
+func (g *GroupTable) Merge(o *GroupTable) {
+	for _, k := range o.order {
+		og := o.groups[k]
+		grp, ok := g.groups[k]
+		if !ok {
+			g.groups[k] = og
+			g.order = append(g.order, k)
+			continue
+		}
+		for i := range grp.states {
+			grp.states[i].Merge(og.states[i])
+		}
+	}
+}
+
+// NumGroups returns the number of distinct grouping keys seen.
+func (g *GroupTable) NumGroups() int { return len(g.groups) }
+
+// Result materializes the aggregate layout [group keys..., agg results...].
+// A scalar aggregation (no GROUP BY) always yields exactly one row, even
+// over empty input.
+func (g *GroupTable) Result() (*Batch, error) {
+	if len(g.groupEvs) == 0 && len(g.groups) == 0 {
+		g.lookup(nil)
+	}
+	width := len(g.groupEvs) + len(g.specs)
+	out := NewBatch(width)
+	for c := range out.Cols {
+		out.Cols[c] = types.NewVector(g.colType(c), len(g.order))
+	}
+	for _, k := range g.order {
+		grp := g.groups[k]
+		for c, v := range grp.keys {
+			out.Cols[c].Append(v)
+		}
+		for i, st := range grp.states {
+			out.Cols[len(grp.keys)+i].Append(st.Final())
+		}
+	}
+	out.N = len(g.order)
+	return out, nil
+}
+
+func (g *GroupTable) colType(c int) types.Type {
+	if c < len(g.groupEvs) {
+		return exprVecType(g.groupEvs[c].expr)
+	}
+	return g.specs[c-len(g.groupEvs)].T
+}

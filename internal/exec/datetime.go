@@ -1,0 +1,45 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"redshift/internal/types"
+)
+
+// toTime converts a Date or Timestamp value to time.Time (UTC).
+func toTime(v types.Value) time.Time {
+	if v.T == types.Date {
+		return types.DaysToDate(v.I)
+	}
+	return time.UnixMicro(v.I).UTC()
+}
+
+// fromTime converts a time back to the given temporal type.
+func fromTime(t types.Type, tm time.Time) types.Value {
+	if t == types.Date {
+		return types.NewDate(types.DateToDays(tm))
+	}
+	return types.NewTimestamp(tm.UTC().UnixMicro())
+}
+
+// dateTrunc truncates a temporal value to the named unit.
+func dateTrunc(unit string, v types.Value) (types.Value, error) {
+	tm := toTime(v)
+	var out time.Time
+	switch unit {
+	case "year":
+		out = time.Date(tm.Year(), 1, 1, 0, 0, 0, 0, time.UTC)
+	case "month":
+		out = time.Date(tm.Year(), tm.Month(), 1, 0, 0, 0, 0, time.UTC)
+	case "day":
+		out = time.Date(tm.Year(), tm.Month(), tm.Day(), 0, 0, 0, 0, time.UTC)
+	case "hour":
+		out = tm.Truncate(time.Hour)
+	case "minute":
+		out = tm.Truncate(time.Minute)
+	default:
+		return types.Value{}, fmt.Errorf("exec: date_trunc: bad unit %q", unit)
+	}
+	return fromTime(v.T, out), nil
+}

@@ -1,0 +1,183 @@
+package exec
+
+import (
+	"redshift/internal/plan"
+	"redshift/internal/sql"
+	"redshift/internal/types"
+)
+
+// HashJoin joins a probe (left) stream against a fully built (right) side.
+// The build side is the inner table — the side the planner chose to
+// broadcast, shuffle or read locally.
+type HashJoin struct {
+	kind       sql.JoinKind
+	mode       Mode
+	leftKeys   []*Evaluator // over the left (probe) layout
+	buildKeys  []*Evaluator // over the right (build) local layout
+	rightWidth int
+	table      map[string][]int // key → build row positions
+	build      *Batch           // concatenated build rows (right-local layout)
+	residual   *Filter          // over the joined layout, inner joins only
+}
+
+// NewHashJoin prepares a join. rightWidth is the number of columns in the
+// right table's local layout.
+func NewHashJoin(mode Mode, step plan.JoinStep, rightWidth int) (*HashJoin, error) {
+	j := &HashJoin{
+		kind:       step.Kind,
+		mode:       mode,
+		rightWidth: rightWidth,
+		table:      make(map[string][]int),
+		build:      NewBatch(rightWidth),
+	}
+	for _, k := range step.LeftKeys {
+		ev, err := NewEvaluator(mode, k)
+		if err != nil {
+			return nil, err
+		}
+		j.leftKeys = append(j.leftKeys, ev)
+	}
+	for _, k := range step.RightKeys {
+		ev, err := NewEvaluator(mode, k)
+		if err != nil {
+			return nil, err
+		}
+		j.buildKeys = append(j.buildKeys, ev)
+	}
+	residual, err := NewFilter(mode, step.Residual)
+	if err != nil {
+		return nil, err
+	}
+	j.residual = residual
+	return j, nil
+}
+
+// Build adds one batch of the inner side to the hash table.
+func (j *HashJoin) Build(b *Batch) error {
+	base := j.build.N
+	// Materialize any nil columns as typed empties so Concat stays aligned.
+	if err := j.alignAndConcat(b); err != nil {
+		return err
+	}
+	keyVecs := make([]*types.Vector, len(j.buildKeys))
+	for i, ev := range j.buildKeys {
+		v, err := ev.Eval(b)
+		if err != nil {
+			return err
+		}
+		keyVecs[i] = v
+	}
+	keyRow := make([]types.Value, len(keyVecs))
+	for r := 0; r < b.N; r++ {
+		null := false
+		for i, v := range keyVecs {
+			keyRow[i] = v.Get(r)
+			if keyRow[i].Null {
+				null = true
+			}
+		}
+		if null {
+			continue // NULL keys never match
+		}
+		k := KeyEncoder(keyRow)
+		j.table[k] = append(j.table[k], base+r)
+	}
+	return nil
+}
+
+func (j *HashJoin) alignAndConcat(b *Batch) error {
+	aligned := NewBatch(len(j.build.Cols))
+	aligned.N = b.N
+	for c := range b.Cols {
+		aligned.Cols[c] = b.Cols[c]
+	}
+	// First Concat initializes missing vectors from this batch's shape.
+	if j.build.N == 0 {
+		for c, v := range aligned.Cols {
+			if v != nil {
+				j.build.Cols[c] = types.NewVector(v.T, 0)
+			}
+		}
+	}
+	for c, v := range aligned.Cols {
+		if v == nil && j.build.Cols[c] != nil {
+			return errWidth("join build column", c, len(j.build.Cols))
+		}
+	}
+	return j.build.Concat(aligned)
+}
+
+// BuildRows returns how many rows the build side holds.
+func (j *HashJoin) BuildRows() int { return j.build.N }
+
+// Probe joins one left batch, returning the joined batch (left columns
+// followed by right columns).
+func (j *HashJoin) Probe(left *Batch) (*Batch, error) {
+	keyVecs := make([]*types.Vector, len(j.leftKeys))
+	for i, ev := range j.leftKeys {
+		v, err := ev.Eval(left)
+		if err != nil {
+			return nil, err
+		}
+		keyVecs[i] = v
+	}
+	var leftSel, rightSel []int
+	keyRow := make([]types.Value, len(keyVecs))
+	for r := 0; r < left.N; r++ {
+		null := false
+		for i, v := range keyVecs {
+			keyRow[i] = v.Get(r)
+			if keyRow[i].Null {
+				null = true
+			}
+		}
+		var matches []int
+		if !null {
+			matches = j.table[KeyEncoder(keyRow)]
+		}
+		if len(matches) == 0 {
+			if j.kind == sql.LeftJoin {
+				leftSel = append(leftSel, r)
+				rightSel = append(rightSel, -1) // null-extended
+			}
+			continue
+		}
+		for _, m := range matches {
+			leftSel = append(leftSel, r)
+			rightSel = append(rightSel, m)
+		}
+	}
+	out := j.assemble(left, leftSel, rightSel)
+	return j.residual.Apply(out)
+}
+
+// assemble gathers matched left rows and build rows into the joined layout.
+func (j *HashJoin) assemble(left *Batch, leftSel, rightSel []int) *Batch {
+	out := NewBatch(len(left.Cols) + j.rightWidth)
+	out.N = len(leftSel)
+	for c, v := range left.Cols {
+		if v == nil {
+			continue
+		}
+		nv := types.NewVector(v.T, len(leftSel))
+		for _, i := range leftSel {
+			nv.Append(v.Get(i))
+		}
+		out.Cols[c] = nv
+	}
+	for c, v := range j.build.Cols {
+		if v == nil {
+			continue
+		}
+		nv := types.NewVector(v.T, len(rightSel))
+		for _, i := range rightSel {
+			if i < 0 {
+				nv.AppendNull()
+			} else {
+				nv.Append(v.Get(i))
+			}
+		}
+		out.Cols[len(left.Cols)+c] = nv
+	}
+	return out
+}

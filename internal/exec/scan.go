@@ -1,0 +1,125 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"redshift/internal/plan"
+	"redshift/internal/storage"
+	"redshift/internal/types"
+)
+
+// BlockFetcher resolves a non-resident block's payload — the page-fault
+// path of streaming restore (§2.3: "'page-faulting' in blocks when
+// unavailable on local storage").
+type BlockFetcher func(b *storage.Block) error
+
+// ScanStats counts block skipping effectiveness, the quantity behind the
+// zone-map ablation (A2).
+type ScanStats struct {
+	BlocksRead    atomic.Int64
+	BlocksSkipped atomic.Int64
+	RowsRead      atomic.Int64
+	RowsEmitted   atomic.Int64
+	PageFaults    atomic.Int64
+}
+
+// Scanner reads one table's segments on one slice: zone-map pruning first,
+// then decode of only the needed columns, then the pushed-down filter.
+type Scanner struct {
+	width    int
+	needCols []int
+	ranges   []plan.ColRange
+	filter   *Filter
+	fetch    BlockFetcher
+	stats    *ScanStats
+}
+
+// NewScanner prepares a scan. stats may be shared across slices; fetch may
+// be nil when all blocks are resident.
+func NewScanner(mode Mode, scan *plan.TableScan, fetch BlockFetcher, stats *ScanStats) (*Scanner, error) {
+	filter, err := NewFilter(mode, scan.Filter)
+	if err != nil {
+		return nil, err
+	}
+	if stats == nil {
+		stats = &ScanStats{}
+	}
+	return &Scanner{
+		width:    len(scan.Def.Columns),
+		needCols: scan.NeedCols,
+		ranges:   scan.Ranges,
+		filter:   filter,
+		fetch:    fetch,
+		stats:    stats,
+	}, nil
+}
+
+// Stats exposes the scan counters.
+func (s *Scanner) Stats() *ScanStats { return s.stats }
+
+// ScanSegment streams the surviving rows of one segment as table-local
+// batches (nil vectors for unneeded columns).
+func (s *Scanner) ScanSegment(seg *storage.Segment, emit func(*Batch) error) error {
+	if seg.Schema.Len() != s.width {
+		return fmt.Errorf("exec: segment width %d, scanner width %d", seg.Schema.Len(), s.width)
+	}
+	for bi := 0; bi < seg.NumBlocks(); bi++ {
+		if s.pruned(seg, bi) {
+			s.stats.BlocksSkipped.Add(int64(len(s.needCols)))
+			continue
+		}
+		batch := NewBatch(s.width)
+		for _, c := range s.needCols {
+			blk := seg.Block(c, bi)
+			v, err := s.decode(blk)
+			if err != nil {
+				return err
+			}
+			batch.Cols[c] = v
+			batch.N = v.Len()
+			s.stats.BlocksRead.Add(1)
+		}
+		s.stats.RowsRead.Add(int64(batch.N))
+		out, err := s.filter.Apply(batch)
+		if err != nil {
+			return err
+		}
+		s.stats.RowsEmitted.Add(int64(out.N))
+		if out.N == 0 {
+			continue
+		}
+		if err := emit(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pruned reports whether every predicate range excludes block bi.
+func (s *Scanner) pruned(seg *storage.Segment, bi int) bool {
+	for _, r := range s.ranges {
+		zone := seg.Block(r.Col, bi).Zone
+		if !zone.MayContainRange(r.Lo, r.HasLo, r.Hi, r.HasHi) {
+			return true
+		}
+	}
+	return false
+}
+
+// decode reads a block, page-faulting its payload if evicted.
+func (s *Scanner) decode(blk *storage.Block) (*types.Vector, error) {
+	v, err := blk.Decode()
+	if err == nil {
+		return v, nil
+	}
+	if !errors.Is(err, storage.ErrNotResident) || s.fetch == nil {
+		return nil, err
+	}
+	s.stats.PageFaults.Add(1)
+	if ferr := s.fetch(blk); ferr != nil {
+		return nil, fmt.Errorf("exec: page fault for %s: %w", blk.ID, ferr)
+	}
+	return blk.Decode()
+}

@@ -1,0 +1,212 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"redshift/internal/catalog"
+	"redshift/internal/compress"
+	"redshift/internal/plan"
+	"redshift/internal/sql"
+	"redshift/internal/storage"
+	"redshift/internal/types"
+)
+
+// buildSegment builds a sorted 2-column segment (ts ascending, v cyclic)
+// with 16 rows per block.
+func buildSegment(t *testing.T, rows int) (*storage.Segment, *catalog.TableDef) {
+	t.Helper()
+	def := &catalog.TableDef{
+		ID:   1,
+		Name: "f",
+		Columns: []catalog.ColumnDef{
+			{Name: "ts", Type: types.Int64, Encoding: compress.Delta},
+			{Name: "v", Type: types.Int64, Encoding: compress.Raw},
+		},
+		DistKeyCol: -1,
+	}
+	b, err := storage.NewBuilder(1, 0, 0, def.Schema(), def.Encodings(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if err := b.Append(types.Row{types.NewInt(int64(i)), types.NewInt(int64(i % 7))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg, err := b.Finish(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seg, def
+}
+
+// scanSpec builds a plan.TableScan with a ts < hi filter.
+func scanSpec(def *catalog.TableDef, hi int64) *plan.TableScan {
+	filter := &plan.Bin{
+		Op: sql.OpLt,
+		L:  &plan.Col{Index: 0, T: types.Int64, Name: "ts"},
+		R:  &plan.Const{V: types.NewInt(hi)},
+		T:  types.Bool,
+	}
+	return &plan.TableScan{
+		Def:      def,
+		Filter:   filter,
+		Ranges:   []plan.ColRange{{Col: 0, Hi: types.NewInt(hi), HasHi: true}},
+		NeedCols: []int{0, 1},
+	}
+}
+
+func TestScannerZoneMapPruning(t *testing.T) {
+	seg, def := buildSegment(t, 160) // 10 blocks of 16
+	sc, err := NewScanner(Compiled, scanSpec(def, 20), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows int
+	if err := sc.ScanSegment(seg, func(b *Batch) error {
+		rows += b.N
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 20 {
+		t.Errorf("emitted %d rows, want 20", rows)
+	}
+	st := sc.Stats()
+	// Blocks 0 and 1 (ts 0..31) survive the zone map; blocks 2..9 prune.
+	if st.BlocksRead.Load() != 4 { // 2 surviving blocks × 2 needed columns
+		t.Errorf("BlocksRead = %d", st.BlocksRead.Load())
+	}
+	if st.BlocksSkipped.Load() != 16 { // 8 pruned blocks × 2 columns
+		t.Errorf("BlocksSkipped = %d", st.BlocksSkipped.Load())
+	}
+	if st.RowsRead.Load() != 32 || st.RowsEmitted.Load() != 20 {
+		t.Errorf("rows read/emitted = %d/%d", st.RowsRead.Load(), st.RowsEmitted.Load())
+	}
+}
+
+func TestScannerLateMaterialization(t *testing.T) {
+	seg, def := buildSegment(t, 32)
+	spec := scanSpec(def, 1000)
+	spec.NeedCols = []int{1} // only v; ts never decoded
+	spec.Filter = nil
+	spec.Ranges = nil
+	sc, err := NewScanner(Compiled, spec, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sc.ScanSegment(seg, func(b *Batch) error {
+		if b.Cols[0] != nil {
+			return errors.New("unneeded column was materialized")
+		}
+		if b.Cols[1] == nil {
+			return errors.New("needed column missing")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Stats().BlocksRead.Load() != 2 { // 2 blocks × 1 column
+		t.Errorf("BlocksRead = %d", sc.Stats().BlocksRead.Load())
+	}
+}
+
+func TestScannerPageFaults(t *testing.T) {
+	seg, def := buildSegment(t, 48)
+	// Evict everything, serve payloads from a side copy via the fetcher.
+	payloads := map[storage.BlockID][]byte{}
+	seg.Blocks(func(b *storage.Block) {
+		payloads[b.ID] = append([]byte(nil), b.Payload()...)
+		b.Evict()
+	})
+	fetch := func(b *storage.Block) error {
+		p, ok := payloads[b.ID]
+		if !ok {
+			return fmt.Errorf("no payload for %s", b.ID)
+		}
+		return b.Fill(p)
+	}
+	spec := scanSpec(def, 1000)
+	spec.Filter, spec.Ranges = nil, nil
+	sc, err := NewScanner(Compiled, spec, fetch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := 0
+	if err := sc.ScanSegment(seg, func(b *Batch) error {
+		rows += b.N
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 48 {
+		t.Errorf("rows = %d", rows)
+	}
+	if sc.Stats().PageFaults.Load() != 6 { // 3 blocks × 2 columns
+		t.Errorf("PageFaults = %d", sc.Stats().PageFaults.Load())
+	}
+}
+
+func TestScannerNoFetcherFailsOnEvicted(t *testing.T) {
+	seg, def := buildSegment(t, 16)
+	seg.Blocks(func(b *storage.Block) { b.Evict() })
+	spec := scanSpec(def, 1000)
+	spec.Filter, spec.Ranges = nil, nil
+	sc, _ := NewScanner(Compiled, spec, nil, nil)
+	err := sc.ScanSegment(seg, func(*Batch) error { return nil })
+	if !errors.Is(err, storage.ErrNotResident) {
+		t.Errorf("err = %v, want ErrNotResident", err)
+	}
+}
+
+func TestScannerWidthMismatch(t *testing.T) {
+	seg, _ := buildSegment(t, 16)
+	wrong := &catalog.TableDef{
+		ID:         2,
+		Name:       "w",
+		Columns:    []catalog.ColumnDef{{Name: "only", Type: types.Int64, Encoding: compress.Raw}},
+		DistKeyCol: -1,
+	}
+	spec := &plan.TableScan{Def: wrong, NeedCols: []int{0}}
+	sc, _ := NewScanner(Compiled, spec, nil, nil)
+	if err := sc.ScanSegment(seg, func(*Batch) error { return nil }); err == nil {
+		t.Error("width mismatch accepted")
+	}
+}
+
+func TestCompiledFloatAndStringComparisons(t *testing.T) {
+	// Exercise the float and string kernels of compileCompare and the
+	// float branch of compileInList directly.
+	fb := NewBatch(1)
+	fv := types.NewVector(types.Float64, 4)
+	for _, f := range []float64{1.5, 2.5, 3.5, 2.5} {
+		fv.Append(types.NewFloat(f))
+	}
+	fb.Cols[0], fb.N = fv, 4
+
+	ge := &plan.Bin{Op: sql.OpGe, L: &plan.Col{Index: 0, T: types.Float64}, R: &plan.Const{V: types.NewFloat(2.5)}, T: types.Bool}
+	v := evalOne(t, Compiled, ge, fb)
+	if v.Ints[0] != 0 || v.Ints[1] != 1 || v.Ints[2] != 1 {
+		t.Errorf("float >= : %v", v.Ints)
+	}
+	in := &plan.InList{E: &plan.Col{Index: 0, T: types.Float64}, Vals: []types.Value{types.NewFloat(2.5)}}
+	v = evalOne(t, Compiled, in, fb)
+	if v.Ints[0] != 0 || v.Ints[1] != 1 || v.Ints[3] != 1 {
+		t.Errorf("float IN: %v", v.Ints)
+	}
+
+	sb := NewBatch(1)
+	sv := types.NewVector(types.String, 3)
+	for _, s := range []string{"apple", "mango", "zebra"} {
+		sv.Append(types.NewString(s))
+	}
+	sb.Cols[0], sb.N = sv, 3
+	ne := &plan.Bin{Op: sql.OpNe, L: &plan.Col{Index: 0, T: types.String}, R: &plan.Const{V: types.NewString("mango")}, T: types.Bool}
+	v = evalOne(t, Compiled, ne, sb)
+	if v.Ints[0] != 1 || v.Ints[1] != 0 || v.Ints[2] != 1 {
+		t.Errorf("string <>: %v", v.Ints)
+	}
+}

@@ -1,0 +1,242 @@
+// Package fleetops models the operational processes behind the paper's
+// fleet-level figures:
+//
+//   - Figure 1 — the "analysis gap": enterprise data compounding at
+//     30–60%/yr against warehouse capacity at 8–11%/yr.
+//   - Figure 4 — cumulative features under continuous delivery (~1/week),
+//     and §5's claim that slowing the patch cadence from two to four weeks
+//     "meaningfully increased the probability of a failed patch".
+//   - Figure 5 — tickets per cluster falling over time while the fleet
+//     grows, driven by weekly Pareto extinguishing of the top defect cause.
+//
+// Every model is deterministic for a given seed so the figures regenerate
+// identically.
+package fleetops
+
+import (
+	"math"
+	"math/rand"
+)
+
+// GapPoint is one year of the Figure 1 series.
+type GapPoint struct {
+	Year int
+	// EnterprisePB is total data collected by the enterprise.
+	EnterprisePB float64
+	// WarehousePB is data actually analyzable in the warehouse.
+	WarehousePB float64
+	// DarkFraction is the share of data not available for analysis.
+	DarkFraction float64
+}
+
+// GapModel parameterizes the Figure 1 growth curves.
+type GapModel struct {
+	StartYear int
+	Years     int
+	// StartPB is both curves' starting size.
+	StartPB float64
+	// EnterpriseCAGR0/1: enterprise data growth accelerates linearly from
+	// the first rate to the second over the period (the paper: 30–40%
+	// historically, 50–60% in recent market research).
+	EnterpriseCAGR0 float64
+	EnterpriseCAGR1 float64
+	// WarehouseCAGR is the warehouse market's growth (8–11%).
+	WarehouseCAGR float64
+}
+
+// DefaultGapModel matches the paper's quoted rates over 1990–2020.
+func DefaultGapModel() GapModel {
+	return GapModel{
+		StartYear:       1990,
+		Years:           31,
+		StartPB:         1,
+		EnterpriseCAGR0: 0.30,
+		EnterpriseCAGR1: 0.55,
+		WarehouseCAGR:   0.095,
+	}
+}
+
+// Run produces the Figure 1 series.
+func (m GapModel) Run() []GapPoint {
+	out := make([]GapPoint, m.Years)
+	ent, wh := m.StartPB, m.StartPB
+	for i := 0; i < m.Years; i++ {
+		frac := 0.0
+		if ent > 0 {
+			frac = 1 - wh/ent
+			if frac < 0 {
+				frac = 0
+			}
+		}
+		out[i] = GapPoint{Year: m.StartYear + i, EnterprisePB: ent, WarehousePB: wh, DarkFraction: frac}
+		t := float64(i) / float64(m.Years-1)
+		cagr := m.EnterpriseCAGR0 + t*(m.EnterpriseCAGR1-m.EnterpriseCAGR0)
+		ent *= 1 + cagr
+		wh *= 1 + m.WarehouseCAGR
+	}
+	return out
+}
+
+// DeployModel parameterizes continuous delivery (Figure 4 and §5).
+type DeployModel struct {
+	Seed int64
+	// CadenceWeeks is how often a patch ships (the paper: 2, vs 4 as the
+	// cautionary experiment).
+	CadenceWeeks int
+	// FeaturesPerWeek is the team's steady output (~1/week per §1).
+	FeaturesPerWeek float64
+	// PerChangeRisk is the chance any single change breaks a patch.
+	PerChangeRisk float64
+	// InteractionRisk is the extra per-pair risk when changes ship
+	// together — what makes big batches disproportionately fragile.
+	InteractionRisk float64
+}
+
+// DefaultDeployModel matches the paper's cadence and feature rate.
+func DefaultDeployModel(cadenceWeeks int) DeployModel {
+	return DeployModel{
+		Seed:            42,
+		CadenceWeeks:    cadenceWeeks,
+		FeaturesPerWeek: 1.0,
+		PerChangeRisk:   0.010,
+		InteractionRisk: 0.0020,
+	}
+}
+
+// DeployResult summarizes a simulated delivery history.
+type DeployResult struct {
+	// CumFeatures[w] is features shipped by end of week w.
+	CumFeatures   []int
+	Patches       int
+	FailedPatches int
+	// PatchFailureProbability is the analytic per-patch failure chance for
+	// the cadence's average batch size.
+	PatchFailureProbability float64
+}
+
+// PatchFailureProbability computes the per-patch failure chance for a batch
+// of n changes: independent per-change risk plus pairwise interaction risk.
+func (m DeployModel) PatchFailureProbability(n float64) float64 {
+	pairs := n * (n - 1) / 2
+	exponent := n*math.Log(1-m.PerChangeRisk) + pairs*math.Log(1-m.InteractionRisk)
+	return 1 - math.Exp(exponent)
+}
+
+// Run simulates weeks of continuous delivery.
+func (m DeployModel) Run(weeks int) DeployResult {
+	rng := rand.New(rand.NewSource(m.Seed))
+	res := DeployResult{CumFeatures: make([]int, weeks)}
+	res.PatchFailureProbability = m.PatchFailureProbability(float64(m.CadenceWeeks) * m.FeaturesPerWeek)
+	cum := 0
+	pendingChanges := 0.0
+	for w := 0; w < weeks; w++ {
+		// Features completed this week (Poisson-ish via rounding noise).
+		done := int(m.FeaturesPerWeek + rng.Float64()*0.99)
+		pendingChanges += m.FeaturesPerWeek
+		if m.CadenceWeeks > 0 && (w+1)%m.CadenceWeeks == 0 {
+			res.Patches++
+			if rng.Float64() < m.PatchFailureProbability(pendingChanges) {
+				res.FailedPatches++
+			} else {
+				cum += int(pendingChanges)
+			}
+			pendingChanges = 0
+		}
+		_ = done
+		res.CumFeatures[w] = cum
+	}
+	return res
+}
+
+// FleetModel parameterizes Figure 5's ticket trajectory.
+type FleetModel struct {
+	Seed int64
+	// InitialClusters and WeeklyGrowth shape the fleet curve ("operational
+	// load roughly correlates to business success").
+	InitialClusters float64
+	WeeklyGrowth    float64
+	// InitialCauses is how many latent defect causes exist at launch;
+	// cause i's per-cluster weekly ticket rate is BaseRate / (i+1)^Zipf —
+	// the Pareto distribution that makes top-10 extinguishing effective.
+	InitialCauses int
+	Zipf          float64
+	BaseRate      float64
+	// NewCausesPerWeek is the defect inflow from continuous delivery.
+	NewCausesPerWeek float64
+	// ExtinguishPerWeek is how many top causes engineering removes weekly
+	// (§5: "extinguishing one of the top ten causes of error each week").
+	ExtinguishPerWeek int
+}
+
+// DefaultFleetModel matches the paper's qualitative setup.
+func DefaultFleetModel() FleetModel {
+	return FleetModel{
+		Seed:              7,
+		InitialClusters:   200,
+		WeeklyGrowth:      0.035, // thousands of clusters after two years
+		InitialCauses:     400,
+		Zipf:              1.1,
+		BaseRate:          0.004,
+		NewCausesPerWeek:  2.0,
+		ExtinguishPerWeek: 1,
+	}
+}
+
+// WeekStats is one week of the Figure 5 series.
+type WeekStats struct {
+	Week              int
+	Clusters          float64
+	Tickets           float64
+	TicketsPerCluster float64
+	ActiveCauses      int
+}
+
+// Run simulates the fleet for the given number of weeks.
+func (m FleetModel) Run(weeks int) []WeekStats {
+	rng := rand.New(rand.NewSource(m.Seed))
+	// Active causes with their per-cluster weekly rates.
+	var rates []float64
+	for i := 0; i < m.InitialCauses; i++ {
+		rates = append(rates, m.BaseRate/math.Pow(float64(i+1), m.Zipf))
+	}
+	nextRank := m.InitialCauses
+	clusters := m.InitialClusters
+	out := make([]WeekStats, weeks)
+	for w := 0; w < weeks; w++ {
+		var perCluster float64
+		for _, r := range rates {
+			perCluster += r
+		}
+		noise := 1 + 0.1*(rng.Float64()-0.5)
+		tickets := perCluster * clusters * noise
+		out[w] = WeekStats{
+			Week:              w,
+			Clusters:          clusters,
+			Tickets:           tickets,
+			TicketsPerCluster: tickets / clusters,
+			ActiveCauses:      len(rates),
+		}
+		// Pareto work scheduling: remove the top causes.
+		for k := 0; k < m.ExtinguishPerWeek && len(rates) > 0; k++ {
+			top := 0
+			for i, r := range rates {
+				if r > rates[top] {
+					top = i
+				}
+				_ = r
+			}
+			rates = append(rates[:top], rates[top+1:]...)
+		}
+		// New defects arrive with feature deploys, entering with
+		// tail-of-Pareto rates (big obvious defects were already designed
+		// or tested out; new ones are mostly small).
+		arrivals := int(m.NewCausesPerWeek + rng.Float64())
+		for a := 0; a < arrivals; a++ {
+			nextRank++
+			rank := 10 + rng.Intn(nextRank) // occasionally a bad one
+			rates = append(rates, m.BaseRate/math.Pow(float64(rank), m.Zipf))
+		}
+		clusters *= 1 + m.WeeklyGrowth
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package fleetops
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnalysisGapWidens(t *testing.T) {
+	pts := DefaultGapModel().Run()
+	if len(pts) != 31 || pts[0].Year != 1990 || pts[30].Year != 2020 {
+		t.Fatalf("series shape wrong: %d points", len(pts))
+	}
+	// Figure 1's claim: the gap keeps widening.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].DarkFraction < pts[i-1].DarkFraction-1e-9 {
+			t.Fatalf("dark fraction shrank at %d: %f → %f", pts[i].Year, pts[i-1].DarkFraction, pts[i].DarkFraction)
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.DarkFraction < 0.9 {
+		t.Errorf("by 2020 most data should be dark, got %.2f", last.DarkFraction)
+	}
+	if pts[0].DarkFraction != 0 {
+		t.Errorf("1990 should start with no gap, got %f", pts[0].DarkFraction)
+	}
+	// "data doubling in size every 20 months" ≈ 51%/yr near the end.
+	growth := pts[30].EnterprisePB / pts[29].EnterprisePB
+	if growth < 1.4 || growth > 1.7 {
+		t.Errorf("terminal enterprise growth = %.2f, want ≈1.5", growth)
+	}
+}
+
+func TestDeployCadenceFeatureRate(t *testing.T) {
+	res := DefaultDeployModel(2).Run(104)
+	// ~1 feature/week over two years, minus the few lost to failed patches.
+	got := res.CumFeatures[103]
+	if got < 85 || got > 110 {
+		t.Errorf("features after 104 weeks = %d, want ≈100", got)
+	}
+	if res.Patches != 52 {
+		t.Errorf("patches = %d, want 52", res.Patches)
+	}
+	// Cumulative curve is monotone.
+	for i := 1; i < len(res.CumFeatures); i++ {
+		if res.CumFeatures[i] < res.CumFeatures[i-1] {
+			t.Fatal("cumulative features decreased")
+		}
+	}
+}
+
+func TestSlowerCadenceRaisesPatchFailureProbability(t *testing.T) {
+	// §5: moving from 2-week to 4-week patches "meaningfully increased the
+	// probability of a failed patch".
+	two := DefaultDeployModel(2)
+	four := DefaultDeployModel(4)
+	p2 := two.PatchFailureProbability(2 * two.FeaturesPerWeek)
+	p4 := four.PatchFailureProbability(4 * four.FeaturesPerWeek)
+	if p4 < p2*2 {
+		t.Errorf("4-week failure probability %.4f should be ≥2x the 2-week %.4f", p4, p2)
+	}
+	// And strictly superlinear: doubling batch size more than doubles risk.
+	if p4/p2 <= 2.0 {
+		t.Errorf("interaction term missing: ratio %.2f", p4/p2)
+	}
+}
+
+func TestDeployDeterministic(t *testing.T) {
+	a := DefaultDeployModel(2).Run(104)
+	b := DefaultDeployModel(2).Run(104)
+	if a.FailedPatches != b.FailedPatches || a.CumFeatures[50] != b.CumFeatures[50] {
+		t.Error("deploy model not deterministic for fixed seed")
+	}
+}
+
+func TestTicketsPerClusterDecline(t *testing.T) {
+	stats := DefaultFleetModel().Run(104)
+	first := avgTickets(stats[:8])
+	last := avgTickets(stats[96:])
+	if last >= first/2 {
+		t.Errorf("tickets/cluster should fall ≥2x over two years: %.4f → %.4f", first, last)
+	}
+	// While the fleet grew substantially ("thousands of clusters").
+	if stats[103].Clusters < 5*stats[0].Clusters {
+		t.Errorf("fleet grew only %.0f → %.0f", stats[0].Clusters, stats[103].Clusters)
+	}
+	// §5: "operational load roughly correlates to business success" —
+	// absolute tickets may grow, but far slower than the fleet does.
+	fleetGrowth := stats[103].Clusters / stats[0].Clusters
+	loadGrowth := avgAbs(stats[96:]) / avgAbs(stats[:8])
+	if loadGrowth > fleetGrowth/2 {
+		t.Errorf("ticket load grew %.1fx against fleet growth %.1fx; extinguishing should keep it sublinear", loadGrowth, fleetGrowth)
+	}
+}
+
+func avgTickets(ws []WeekStats) float64 {
+	var s float64
+	for _, w := range ws {
+		s += w.TicketsPerCluster
+	}
+	return s / float64(len(ws))
+}
+
+func avgAbs(ws []WeekStats) float64 {
+	var s float64
+	for _, w := range ws {
+		s += w.Tickets
+	}
+	return s / float64(len(ws))
+}
+
+func TestFleetDeterministic(t *testing.T) {
+	a := DefaultFleetModel().Run(104)
+	b := DefaultFleetModel().Run(104)
+	for i := range a {
+		if math.Abs(a[i].Tickets-b[i].Tickets) > 1e-9 {
+			t.Fatal("fleet model not deterministic")
+		}
+	}
+}
+
+func TestExtinguishingIsTheMechanism(t *testing.T) {
+	// Ablation: with Pareto extinguishing disabled, tickets/cluster must
+	// NOT decline the way Figure 5 shows.
+	m := DefaultFleetModel()
+	m.ExtinguishPerWeek = 0
+	stats := m.Run(104)
+	first := avgTickets(stats[:8])
+	last := avgTickets(stats[96:])
+	if last < first*0.8 {
+		t.Errorf("without extinguishing, tickets/cluster still fell: %.4f → %.4f", first, last)
+	}
+}

@@ -1,0 +1,122 @@
+// Package hll implements HyperLogLog cardinality estimation, the building
+// block for the paper's "approximate functions" direction (§4: "we would
+// like to build distributed approximate equivalents for all non-linear exact
+// operations") and for table statistics (distinct-value estimates feed the
+// join planner).
+//
+// Sketches merge losslessly, which is what makes the aggregate distributed:
+// each slice builds a sketch over local data and the leader merges them.
+package hll
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Precision is the number of index bits; 2^Precision registers.
+// 12 gives ~1.6% standard error in 4 KiB, Redshift-like accuracy.
+const Precision = 12
+
+const m = 1 << Precision
+
+// Sketch is a HyperLogLog cardinality estimator. The zero value is NOT
+// ready; use New.
+type Sketch struct {
+	reg [m]uint8
+}
+
+// New returns an empty sketch.
+func New() *Sketch { return &Sketch{} }
+
+// fmix64 is the murmur3 finalizer. FNV's high-order bits are weakly mixed
+// for short inputs, and HLL takes its register index from the top bits, so
+// every hash is finalized before use.
+func fmix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// AddHash folds a precomputed 64-bit hash into the sketch.
+func (s *Sketch) AddHash(h uint64) {
+	h = fmix64(h)
+	idx := h >> (64 - Precision)
+	rest := h<<Precision | 1<<(Precision-1) // guarantee a set bit
+	rank := uint8(1)
+	for rest&(1<<63) == 0 {
+		rank++
+		rest <<= 1
+	}
+	if rank > s.reg[idx] {
+		s.reg[idx] = rank
+	}
+}
+
+// AddBytes hashes and folds a byte string.
+func (s *Sketch) AddBytes(b []byte) {
+	h := fnv.New64a()
+	h.Write(b)
+	s.AddHash(h.Sum64())
+}
+
+// AddString hashes and folds a string.
+func (s *Sketch) AddString(v string) { s.AddBytes([]byte(v)) }
+
+// AddInt64 hashes and folds an integer.
+func (s *Sketch) AddInt64(v int64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	s.AddBytes(b[:])
+}
+
+// Merge folds other into s (register-wise max). Sketches must have been
+// built with the same Precision, which the type guarantees.
+func (s *Sketch) Merge(other *Sketch) {
+	for i, r := range other.reg {
+		if r > s.reg[i] {
+			s.reg[i] = r
+		}
+	}
+}
+
+// Estimate returns the estimated number of distinct values added.
+func (s *Sketch) Estimate() int64 {
+	// Standard HLL estimator with the small-range (linear counting)
+	// correction from Flajolet et al.
+	alpha := 0.7213 / (1 + 1.079/float64(m))
+	var sum float64
+	zeros := 0
+	for _, r := range s.reg {
+		sum += 1 / float64(uint64(1)<<r)
+		if r == 0 {
+			zeros++
+		}
+	}
+	est := alpha * m * m / sum
+	if est <= 2.5*m && zeros > 0 {
+		est = float64(m) * math.Log(float64(m)/float64(zeros))
+	}
+	return int64(est + 0.5)
+}
+
+// Marshal serializes the sketch for shipment from slices to the leader.
+func (s *Sketch) Marshal() []byte {
+	out := make([]byte, m)
+	copy(out, s.reg[:])
+	return out
+}
+
+// Unmarshal reconstructs a sketch serialized with Marshal.
+func Unmarshal(b []byte) (*Sketch, error) {
+	if len(b) != m {
+		return nil, fmt.Errorf("hll: sketch must be %d bytes, got %d", m, len(b))
+	}
+	s := New()
+	copy(s.reg[:], b)
+	return s, nil
+}

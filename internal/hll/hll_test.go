@@ -1,0 +1,112 @@
+package hll
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestEstimateAccuracy(t *testing.T) {
+	for _, n := range []int64{0, 1, 10, 100, 1000, 10_000, 100_000, 1_000_000} {
+		s := New()
+		for i := int64(0); i < n; i++ {
+			s.AddInt64(i)
+		}
+		got := s.Estimate()
+		if n == 0 {
+			if got != 0 {
+				t.Errorf("empty sketch estimates %d", got)
+			}
+			continue
+		}
+		err := math.Abs(float64(got)-float64(n)) / float64(n)
+		// 12-bit precision: ~1.6% standard error; allow 5x that.
+		if err > 0.08 {
+			t.Errorf("n=%d estimate=%d relative error %.3f", n, got, err)
+		}
+	}
+}
+
+func TestDuplicatesDoNotInflate(t *testing.T) {
+	s := New()
+	for i := 0; i < 100_000; i++ {
+		s.AddInt64(int64(i % 50))
+	}
+	got := s.Estimate()
+	if got < 40 || got > 60 {
+		t.Errorf("50 distinct values estimated as %d", got)
+	}
+}
+
+func TestStringsAndBytes(t *testing.T) {
+	s := New()
+	for i := 0; i < 5000; i++ {
+		s.AddString(fmt.Sprintf("user-%d", i))
+	}
+	got := s.Estimate()
+	if math.Abs(float64(got)-5000)/5000 > 0.08 {
+		t.Errorf("estimate = %d, want ≈5000", got)
+	}
+}
+
+func TestMergeEqualsUnion(t *testing.T) {
+	a, b, both := New(), New(), New()
+	for i := 0; i < 60_000; i++ {
+		a.AddInt64(int64(i))
+		both.AddInt64(int64(i))
+	}
+	for i := 30_000; i < 90_000; i++ {
+		b.AddInt64(int64(i))
+		both.AddInt64(int64(i))
+	}
+	a.Merge(b)
+	if a.Estimate() != both.Estimate() {
+		t.Errorf("merged estimate %d != union estimate %d", a.Estimate(), both.Estimate())
+	}
+	relErr := math.Abs(float64(a.Estimate())-90_000) / 90_000
+	if relErr > 0.08 {
+		t.Errorf("union estimate %d off by %.3f", a.Estimate(), relErr)
+	}
+}
+
+func TestMergeCommutative(t *testing.T) {
+	a1, b1 := New(), New()
+	a2, b2 := New(), New()
+	for i := 0; i < 10_000; i++ {
+		a1.AddInt64(int64(i))
+		a2.AddInt64(int64(i))
+	}
+	for i := 5000; i < 20_000; i++ {
+		b1.AddInt64(int64(i))
+		b2.AddInt64(int64(i))
+	}
+	a1.Merge(b1) // a ∪ b
+	b2.Merge(a2) // b ∪ a
+	if a1.Estimate() != b2.Estimate() {
+		t.Error("merge is not commutative")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	s := New()
+	for i := 0; i < 12345; i++ {
+		s.AddInt64(int64(i))
+	}
+	got, err := Unmarshal(s.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Estimate() != s.Estimate() {
+		t.Errorf("round trip changed estimate: %d vs %d", got.Estimate(), s.Estimate())
+	}
+	if _, err := Unmarshal([]byte{1, 2, 3}); err == nil {
+		t.Error("Unmarshal accepted short buffer")
+	}
+}
+
+func BenchmarkAddInt64(b *testing.B) {
+	s := New()
+	for i := 0; i < b.N; i++ {
+		s.AddInt64(int64(i))
+	}
+}

@@ -1,0 +1,178 @@
+package kms
+
+import (
+	"bytes"
+	"testing"
+)
+
+func newCipher(t *testing.T) (*Master, *ClusterCipher) {
+	t.Helper()
+	m, err := NewMaster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClusterCipher(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, c
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	_, c := newCipher(t)
+	aad := []byte("t1/sl0/seg0/c0/b0")
+	plain := []byte("columnar block payload")
+	env, err := c.Seal(aad, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(env, plain) {
+		t.Fatal("ciphertext contains plaintext")
+	}
+	got, err := c.Open(aad, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, plain) {
+		t.Fatalf("round trip mismatch")
+	}
+}
+
+func TestBlockIdentityBinding(t *testing.T) {
+	// The §3.2 injection attack: a block's ciphertext moved to another
+	// block position must not open.
+	_, c := newCipher(t)
+	env, err := c.Seal([]byte("block-A"), []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Open([]byte("block-B"), env); err == nil {
+		t.Fatal("cross-block injection succeeded")
+	}
+}
+
+func TestClusterIsolation(t *testing.T) {
+	// A ciphertext from one cluster must not open in another, even under
+	// the same master key.
+	m, c1 := newCipher(t)
+	c2, err := NewClusterCipher(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, _ := c1.Seal([]byte("b"), []byte("secret"))
+	if _, err := c2.Open([]byte("b"), env); err == nil {
+		t.Fatal("cross-cluster injection succeeded")
+	}
+}
+
+func TestBlockKeysAreUnique(t *testing.T) {
+	_, c := newCipher(t)
+	a, _ := c.Seal([]byte("b"), []byte("same payload"))
+	b, _ := c.Seal([]byte("b"), []byte("same payload"))
+	if bytes.Equal(a, b) {
+		t.Fatal("two seals produced identical envelopes (shared keys/nonces)")
+	}
+}
+
+func TestClusterKeyRotationKeepsDataReadable(t *testing.T) {
+	_, c := newCipher(t)
+	aad := []byte("b1")
+	env, _ := c.Seal(aad, []byte("payload"))
+	if err := c.RotateClusterKey(); err != nil {
+		t.Fatal(err)
+	}
+	// Old envelope still opens (old keys retained until rewrap)...
+	if _, err := c.Open(aad, env); err != nil {
+		t.Fatalf("open after rotation: %v", err)
+	}
+	// ...and Rewrap moves it to the new cluster key without touching data.
+	rewrapped, err := c.Rewrap(aad, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, oldBody, _ := splitEnvelope(env)
+	_, newBody, _ := splitEnvelope(rewrapped)
+	if !bytes.Equal(oldBody, newBody) {
+		t.Fatal("rewrap re-encrypted the payload; it must only rewrap the key")
+	}
+	got, err := c.Open(aad, rewrapped)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("open after rewrap: %v", err)
+	}
+	// New seals open without consulting old keys.
+	env2, _ := c.Seal(aad, []byte("new data"))
+	if _, err := c.Open(aad, env2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMasterRotationOnlyRewrapsClusterKey(t *testing.T) {
+	m, c := newCipher(t)
+	aad := []byte("b1")
+	env, _ := c.Seal(aad, []byte("payload"))
+	gen, err := m.Rotate()
+	if err != nil || gen != 2 {
+		t.Fatalf("rotate: gen=%d err=%v", gen, err)
+	}
+	if err := c.RewrapMaster(); err != nil {
+		t.Fatal(err)
+	}
+	// Data still readable; the new wrapped key opens under the new master.
+	if _, err := c.Open(aad, env); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenClusterCipher(m, c.WrappedKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Open(aad, env); err != nil {
+		t.Fatalf("reopened cipher cannot read: %v", err)
+	}
+}
+
+func TestRepudiation(t *testing.T) {
+	m, c := newCipher(t)
+	wrapped := c.WrappedKey()
+	m.Repudiate()
+	if _, err := OpenClusterCipher(m, wrapped); err == nil {
+		t.Fatal("cluster key unwrapped after repudiation")
+	}
+	if _, err := m.Rotate(); err == nil {
+		t.Fatal("rotate succeeded after repudiation")
+	}
+	// The in-memory cipher still works (keys already unwrapped) — the
+	// paper's repudiation is about at-rest data after the cluster is gone.
+	if _, err := c.Seal([]byte("b"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptEnvelopes(t *testing.T) {
+	_, c := newCipher(t)
+	env, _ := c.Seal([]byte("b"), []byte("payload"))
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		env[:len(env)-1], // truncated
+		append([]byte{255, 255, 255, 255}, env...), // absurd key length
+	}
+	for i, bad := range cases {
+		if _, err := c.Open([]byte("b"), bad); err == nil {
+			t.Errorf("case %d: corrupt envelope opened", i)
+		}
+	}
+	// Bit flip in the body must fail authentication.
+	flipped := append([]byte(nil), env...)
+	flipped[len(flipped)-1] ^= 0x01
+	if _, err := c.Open([]byte("b"), flipped); err == nil {
+		t.Error("tampered envelope opened")
+	}
+}
+
+func TestWrongMasterCannotOpen(t *testing.T) {
+	_, c := newCipher(t)
+	otherMaster, _ := NewMaster()
+	if _, err := OpenClusterCipher(otherMaster, c.WrappedKey()); err == nil {
+		t.Fatal("foreign master unwrapped the cluster key")
+	}
+}

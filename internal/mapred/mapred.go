@@ -1,0 +1,124 @@
+// Package mapred is the second comparison baseline of §1: a
+// MapReduce-style batch engine over raw text objects ("HIVE on Hadoop").
+// Every query re-parses its full input, pays a fixed job-scheduling
+// overhead, and materializes a shuffle between the map and reduce phases —
+// the cost structure the paper's customers migrated away from.
+package mapred
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"redshift/internal/s3sim"
+)
+
+// DefaultStartup is the fixed per-job scheduling and container-launch
+// overhead a 2013-era Hadoop cluster charged before any work happened.
+const DefaultStartup = 25 * time.Second
+
+// Job describes one MapReduce computation.
+type Job struct {
+	// Mappers bounds map-phase parallelism (0 = one per input object).
+	Mappers int
+	// Map consumes one input line and emits key/value pairs.
+	Map func(line string, emit func(key, value string))
+	// Reduce consumes one key's values and emits output lines.
+	Reduce func(key string, values []string, emit func(line string))
+}
+
+// Stats reports a job's measured work plus its modeled overhead.
+type Stats struct {
+	InputObjects int
+	InputLines   int64
+	InputBytes   int64
+	ShuffleKeys  int
+	ShufflePairs int64
+	// StartupOverhead is the modeled scheduling cost to add to wall time.
+	StartupOverhead time.Duration
+}
+
+// Run executes the job over every object under prefix and returns reduce
+// output lines sorted by key order.
+func Run(store *s3sim.Store, prefix string, job Job) ([]string, Stats, error) {
+	stats := Stats{StartupOverhead: DefaultStartup}
+	keys := store.List(prefix)
+	if len(keys) == 0 {
+		return nil, stats, fmt.Errorf("mapred: no input under %q", prefix)
+	}
+	stats.InputObjects = len(keys)
+	workers := job.Mappers
+	if workers <= 0 || workers > len(keys) {
+		workers = len(keys)
+	}
+
+	// Map phase: parallel over objects, each mapper with a local shuffle
+	// spill merged under a lock afterwards.
+	shuffle := map[string][]string{}
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	jobs := make(chan string)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := map[string][]string{}
+			var lines, bytes int64
+			for key := range jobs {
+				data, err := store.Get(key)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				bytes += int64(len(data))
+				for _, line := range strings.Split(string(data), "\n") {
+					if line == "" {
+						continue
+					}
+					lines++
+					job.Map(line, func(k, v string) {
+						local[k] = append(local[k], v)
+					})
+				}
+			}
+			mu.Lock()
+			stats.InputLines += lines
+			stats.InputBytes += bytes
+			for k, vs := range local {
+				shuffle[k] = append(shuffle[k], vs...)
+				stats.ShufflePairs += int64(len(vs))
+			}
+			mu.Unlock()
+		}()
+	}
+	for _, k := range keys {
+		jobs <- k
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, stats, firstErr
+	}
+	stats.ShuffleKeys = len(shuffle)
+
+	// Reduce phase in key order (the sort is part of the paradigm).
+	sortedKeys := make([]string, 0, len(shuffle))
+	for k := range shuffle {
+		sortedKeys = append(sortedKeys, k)
+	}
+	sort.Strings(sortedKeys)
+	var out []string
+	for _, k := range sortedKeys {
+		job.Reduce(k, shuffle[k], func(line string) { out = append(out, line) })
+	}
+	return out, stats, nil
+}

@@ -1,0 +1,112 @@
+package mapred
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"redshift/internal/s3sim"
+)
+
+func wordCountJob() Job {
+	return Job{
+		Map: func(line string, emit func(k, v string)) {
+			for _, w := range strings.Fields(line) {
+				emit(w, "1")
+			}
+		},
+		Reduce: func(key string, values []string, emit func(string)) {
+			emit(fmt.Sprintf("%s\t%d", key, len(values)))
+		},
+	}
+}
+
+func TestWordCount(t *testing.T) {
+	store := s3sim.New()
+	store.Put("in/1.txt", []byte("a b a\nc a\n"))
+	store.Put("in/2.txt", []byte("b c\n\nc\n"))
+	out, stats, err := Run(store, "in/", wordCountJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a\t3", "b\t2", "c\t3"}
+	if len(out) != 3 {
+		t.Fatalf("out = %v", out)
+	}
+	for i, w := range want {
+		if out[i] != w {
+			t.Errorf("out[%d] = %q, want %q", i, out[i], w)
+		}
+	}
+	if stats.InputObjects != 2 || stats.InputLines != 4 || stats.ShuffleKeys != 3 || stats.ShufflePairs != 8 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.StartupOverhead != DefaultStartup {
+		t.Errorf("overhead = %v", stats.StartupOverhead)
+	}
+}
+
+func TestAggregationJob(t *testing.T) {
+	store := s3sim.New()
+	// product|qty lines; sum qty per product — the Hadoop version of the
+	// warehouse group-by.
+	var b strings.Builder
+	for i := 0; i < 1000; i++ {
+		fmt.Fprintf(&b, "%d|%d\n", i%5, 1+i%3)
+	}
+	store.Put("sales/1.csv", []byte(b.String()))
+	job := Job{
+		Mappers: 4,
+		Map: func(line string, emit func(k, v string)) {
+			parts := strings.Split(line, "|")
+			emit(parts[0], parts[1])
+		},
+		Reduce: func(key string, values []string, emit func(string)) {
+			sum := 0
+			for _, v := range values {
+				n, _ := strconv.Atoi(v)
+				sum += n
+			}
+			emit(fmt.Sprintf("%s=%d", key, sum))
+		},
+	}
+	out, stats, err := Run(store, "sales/", job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 5 {
+		t.Fatalf("out = %v", out)
+	}
+	total := 0
+	for _, line := range out {
+		var k, v int
+		fmt.Sscanf(line, "%d=%d", &k, &v)
+		total += v
+	}
+	if total != 1999 { // sum of 1+i%3 over i=0..999: 1000 + 999
+		t.Errorf("total = %d", total)
+	}
+	if stats.InputLines != 1000 {
+		t.Errorf("lines = %d", stats.InputLines)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	store := s3sim.New()
+	if _, _, err := Run(store, "empty/", wordCountJob()); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestDeterministicOutputOrder(t *testing.T) {
+	store := s3sim.New()
+	store.Put("in/1.txt", []byte("z y x w v u\n"))
+	a, _, _ := Run(store, "in/", wordCountJob())
+	b, _, _ := Run(store, "in/", wordCountJob())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("output order not deterministic")
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"redshift/internal/catalog"
+	"redshift/internal/sql"
+	"redshift/internal/types"
+)
+
+// JoinStrategy is how a join's inputs are brought together across slices
+// (§2.1: distribution keys allow "join processing on that key to be
+// co-located on individual slices ... avoiding the redistribution of
+// intermediate results").
+type JoinStrategy uint8
+
+const (
+	// StrategyCollocated joins slice-local data with no data movement:
+	// both sides are distributed by their join key.
+	StrategyCollocated JoinStrategy = iota
+	// StrategyBroadcast replicates the (small or DISTSTYLE ALL) inner side
+	// to every node.
+	StrategyBroadcast
+	// StrategyShuffle redistributes both sides by the join key hash.
+	StrategyShuffle
+)
+
+// String names the strategy as EXPLAIN prints it.
+func (s JoinStrategy) String() string {
+	switch s {
+	case StrategyCollocated:
+		return "DS_DIST_NONE"
+	case StrategyBroadcast:
+		return "DS_BCAST_INNER"
+	case StrategyShuffle:
+		return "DS_DIST_BOTH"
+	default:
+		return "DS_UNKNOWN"
+	}
+}
+
+// ColRange is a per-column value bound extracted from a pushed predicate;
+// the scan prunes any block whose zone map cannot intersect it.
+type ColRange struct {
+	Col    int // table-local column ordinal
+	Lo, Hi types.Value
+	HasLo  bool
+	HasHi  bool
+}
+
+// TableScan is one base-table access.
+type TableScan struct {
+	Def   *catalog.TableDef
+	Alias string
+	// BaseCol is the offset of this table's first column in the joined row
+	// layout.
+	BaseCol int
+	// Filter is the pushed-down predicate over table-local column indexes;
+	// nil when nothing was pushable.
+	Filter Expr
+	// Ranges are the zone-map-prunable bounds derived from Filter.
+	Ranges []ColRange
+	// NeedCols lists the table-local columns the query reads, ascending.
+	// Unused columns are never decoded (late materialization).
+	NeedCols []int
+}
+
+// JoinStep joins the accumulated left side with one more table.
+type JoinStep struct {
+	Kind  sql.JoinKind
+	Right int // index into Plan.Tables
+	// LeftKeys are equi-join keys over the current joined layout;
+	// RightKeys are the matching keys over the right table's local layout.
+	LeftKeys  []Expr
+	RightKeys []Expr
+	// Residual is an extra inner-join predicate evaluated on joined rows.
+	Residual Expr
+	Strategy JoinStrategy
+}
+
+// AggSpec is one aggregate computation, split into a mergeable partial
+// phase (per slice) and a final phase (leader).
+type AggSpec struct {
+	Func sql.FuncName
+	// Arg is the input expression over the joined layout; nil for COUNT(*).
+	Arg      Expr
+	Distinct bool
+	// Approx selects the HLL sketch implementation of COUNT(DISTINCT).
+	Approx bool
+	T      types.Type
+}
+
+// String renders the aggregate for EXPLAIN.
+func (a AggSpec) String() string {
+	arg := "*"
+	if a.Arg != nil {
+		arg = a.Arg.String()
+	}
+	if a.Distinct {
+		arg = "DISTINCT " + arg
+	}
+	name := string(a.Func)
+	if a.Approx {
+		name = "APPROXIMATE " + name
+	}
+	return fmt.Sprintf("%s(%s)", name, arg)
+}
+
+// OrderKey orders final output by one projected column.
+type OrderKey struct {
+	Index int
+	Desc  bool
+}
+
+// Plan is the physical plan for one SELECT.
+type Plan struct {
+	Tables []*TableScan
+	Joins  []JoinStep
+	// Where is the residual predicate over the joined layout after
+	// pushdown; nil when fully pushed to scans.
+	Where Expr
+	// HasAgg marks an aggregating query. GroupBy/Aggs/Having are only
+	// meaningful then; Project is over [group keys..., agg results...].
+	HasAgg  bool
+	GroupBy []Expr
+	Aggs    []AggSpec
+	Having  Expr
+	// Project computes the output columns (over the joined layout, or over
+	// the aggregate layout when HasAgg).
+	Project    []Expr
+	FieldNames []string
+	Distinct   bool
+	OrderBy    []OrderKey
+	Limit      int64 // -1 = none
+}
+
+// FieldTypes returns the output column types.
+func (p *Plan) FieldTypes() []types.Type {
+	ts := make([]types.Type, len(p.Project))
+	for i, e := range p.Project {
+		ts[i] = e.Type()
+	}
+	return ts
+}
+
+// Schema returns the output schema.
+func (p *Plan) Schema() types.Schema {
+	cols := make([]types.Column, len(p.Project))
+	for i := range p.Project {
+		cols[i] = types.Column{Name: p.FieldNames[i], Type: p.Project[i].Type()}
+	}
+	return types.NewSchema(cols...)
+}
+
+// Explain renders the plan in a Redshift-flavored indented tree.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	indent := 0
+	line := func(format string, args ...interface{}) {
+		b.WriteString(strings.Repeat("  ", indent))
+		fmt.Fprintf(&b, format, args...)
+		b.WriteByte('\n')
+	}
+	if p.Limit >= 0 {
+		line("XN Limit (rows=%d)", p.Limit)
+		indent++
+	}
+	if len(p.OrderBy) > 0 {
+		keys := make([]string, len(p.OrderBy))
+		for i, k := range p.OrderBy {
+			dir := "asc"
+			if k.Desc {
+				dir = "desc"
+			}
+			keys[i] = fmt.Sprintf("%s %s", p.FieldNames[k.Index], dir)
+		}
+		line("XN Merge (order by: %s)", strings.Join(keys, ", "))
+		indent++
+	}
+	if p.Distinct {
+		line("XN Unique")
+		indent++
+	}
+	if p.HasAgg {
+		aggs := make([]string, len(p.Aggs))
+		for i, a := range p.Aggs {
+			aggs[i] = a.String()
+		}
+		if len(p.GroupBy) > 0 {
+			groups := make([]string, len(p.GroupBy))
+			for i, g := range p.GroupBy {
+				groups[i] = g.String()
+			}
+			line("XN HashAggregate (groups: %s) [%s]", strings.Join(groups, ", "), strings.Join(aggs, ", "))
+		} else {
+			line("XN Aggregate [%s]", strings.Join(aggs, ", "))
+		}
+		indent++
+	}
+	if p.Where != nil {
+		line("XN Filter: %s", p.Where)
+		indent++
+	}
+	for i := len(p.Joins) - 1; i >= 0; i-- {
+		j := p.Joins[i]
+		kind := "Hash Join"
+		if j.Kind == sql.LeftJoin {
+			kind = "Hash Left Join"
+		}
+		keys := make([]string, len(j.LeftKeys))
+		for k := range j.LeftKeys {
+			keys[k] = fmt.Sprintf("%s = %s", j.LeftKeys[k], j.RightKeys[k])
+		}
+		line("XN %s %s (%s)", kind, j.Strategy, strings.Join(keys, " AND "))
+		indent++
+		scan := p.Tables[j.Right]
+		line("-> XN Seq Scan on %s%s", scan.Def.Name, scanDetail(scan))
+	}
+	line("-> XN Seq Scan on %s%s", p.Tables[0].Def.Name, scanDetail(p.Tables[0]))
+	return b.String()
+}
+
+func scanDetail(s *TableScan) string {
+	var parts []string
+	if s.Filter != nil {
+		parts = append(parts, "filter: "+s.Filter.String())
+	}
+	if len(s.Ranges) > 0 {
+		parts = append(parts, fmt.Sprintf("zone-map ranges: %d", len(s.Ranges)))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " (" + strings.Join(parts, "; ") + ")"
+}
+
+// Options tunes planning decisions.
+type Options struct {
+	// BroadcastRows is the inner-table row-count threshold below which a
+	// join broadcasts the inner side instead of shuffling both.
+	BroadcastRows int64
+}
+
+// DefaultOptions returns the planner defaults.
+func DefaultOptions() Options { return Options{BroadcastRows: 100_000} }

@@ -1,0 +1,117 @@
+package rowstore
+
+import (
+	"testing"
+
+	"redshift/internal/types"
+)
+
+func seed(t *testing.T) (*DB, *Table, *Table) {
+	t.Helper()
+	db := New()
+	sales, err := db.Create("sales", types.NewSchema(
+		types.Column{Name: "product_id", Type: types.Int64},
+		types.Column{Name: "qty", Type: types.Int64},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	products, err := db.Create("products", types.NewSchema(
+		types.Column{Name: "id", Type: types.Int64},
+		types.Column{Name: "price", Type: types.Float64},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := sales.Insert(types.Row{types.NewInt(int64(i % 10)), types.NewInt(int64(1 + i%3))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		products.Insert(types.Row{types.NewInt(int64(i)), types.NewFloat(float64(i) * 1.5)})
+	}
+	return db, sales, products
+}
+
+func TestCreateAndGet(t *testing.T) {
+	db, _, _ := seed(t)
+	if _, err := db.Get("sales"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get("nope"); err == nil {
+		t.Error("missing table found")
+	}
+	if _, err := db.Create("sales", types.Schema{}); err == nil {
+		t.Error("duplicate create accepted")
+	}
+}
+
+func TestInsertArity(t *testing.T) {
+	_, sales, _ := seed(t)
+	if err := sales.Insert(types.Row{types.NewInt(1)}); err == nil {
+		t.Error("short row accepted")
+	}
+}
+
+func TestScanAndCount(t *testing.T) {
+	_, sales, _ := seed(t)
+	n := sales.Count(func(r types.Row) bool { return r[0].I == 3 })
+	if n != 10 {
+		t.Errorf("count = %d", n)
+	}
+	if sales.Count(nil) != 100 {
+		t.Errorf("full count = %d", sales.Count(nil))
+	}
+}
+
+func TestHashJoin(t *testing.T) {
+	_, sales, products := seed(t)
+	matches := 0
+	var total float64
+	sales.HashJoin(products, 0, 0, func(r types.Row) {
+		matches++
+		total += r[3].F // price of joined product
+	})
+	if matches != 100 {
+		t.Errorf("joined rows = %d", matches)
+	}
+	if total == 0 {
+		t.Error("joined prices are zero")
+	}
+	// Null keys never match.
+	sales.Insert(types.Row{types.NewNull(types.Int64), types.NewInt(1)})
+	after := 0
+	sales.HashJoin(products, 0, 0, func(types.Row) { after++ })
+	if after != 100 {
+		t.Errorf("null key matched: %d", after)
+	}
+}
+
+func TestGroupSum(t *testing.T) {
+	_, sales, _ := seed(t)
+	groups := sales.GroupSum(0, 1, nil)
+	if len(groups) != 10 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	var count int64
+	for _, g := range groups {
+		count += g.Count
+	}
+	if count != 100 {
+		t.Errorf("total count = %d", count)
+	}
+	// Sorted by key.
+	for i := 1; i < len(groups); i++ {
+		if types.Compare(groups[i-1].Key, groups[i].Key) >= 0 {
+			t.Error("groups not sorted")
+		}
+	}
+}
+
+func TestByteSize(t *testing.T) {
+	_, sales, _ := seed(t)
+	if sales.ByteSize() != 100*16 {
+		t.Errorf("ByteSize = %d", sales.ByteSize())
+	}
+}

@@ -1,0 +1,204 @@
+// Package s3sim simulates the Amazon S3 dependency of §2.3: a durable
+// object store with GET/PUT/LIST semantics, first-byte latency, per-stream
+// bandwidth, a second-region replica for disaster recovery, and failure
+// injection for durability tests. The data plane uses it as the third read
+// replica of every block and the backup layer as its backing store.
+package s3sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"redshift/internal/sim"
+)
+
+// ErrNoSuchKey reports a GET/DELETE of a missing object.
+var ErrNoSuchKey = fmt.Errorf("s3sim: no such key")
+
+// Stats are cumulative operation counters.
+type Stats struct {
+	Gets, Puts, Deletes, Lists int64
+	BytesIn, BytesOut          int64
+}
+
+// Store is one region's object store. The zero value is not usable; call
+// New.
+type Store struct {
+	mu      sync.RWMutex
+	objects map[string][]byte
+
+	// Delay model. When clock is nil operations complete instantly.
+	clock   sim.Clock
+	latency time.Duration
+	mbps    float64
+
+	gets, puts, deletes, lists atomic.Int64
+	bytesIn, bytesOut          atomic.Int64
+}
+
+// New returns an empty store with no delays.
+func New() *Store {
+	return &Store{objects: map[string][]byte{}}
+}
+
+// WithDelays configures the latency/bandwidth model. Pass sim.Wall{Scale: n}
+// to run n× faster than real time, or a *sim.VClock inside a simulation.
+func (s *Store) WithDelays(clock sim.Clock, latency time.Duration, mbps float64) *Store {
+	s.clock = clock
+	s.latency = latency
+	s.mbps = mbps
+	return s
+}
+
+func (s *Store) delay(bytes int) {
+	if s.clock == nil {
+		return
+	}
+	d := s.latency
+	if s.mbps > 0 {
+		d += time.Duration(float64(bytes) / (s.mbps * 1e6) * float64(time.Second))
+	}
+	s.clock.Sleep(d)
+}
+
+// Put stores an object (full overwrite, last write wins).
+func (s *Store) Put(key string, data []byte) error {
+	if key == "" {
+		return fmt.Errorf("s3sim: empty key")
+	}
+	s.delay(len(data))
+	cp := append([]byte(nil), data...)
+	s.mu.Lock()
+	s.objects[key] = cp
+	s.mu.Unlock()
+	s.puts.Add(1)
+	s.bytesIn.Add(int64(len(data)))
+	return nil
+}
+
+// Get retrieves an object.
+func (s *Store) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	data, ok := s.objects[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchKey, key)
+	}
+	s.delay(len(data))
+	s.gets.Add(1)
+	s.bytesOut.Add(int64(len(data)))
+	return append([]byte(nil), data...), nil
+}
+
+// Exists reports whether the key is present (a HEAD request).
+func (s *Store) Exists(key string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.objects[key]
+	return ok
+}
+
+// Delete removes an object; deleting a missing key is an error, unlike S3,
+// because in this system it always indicates a bookkeeping bug.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.objects[key]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchKey, key)
+	}
+	delete(s.objects, key)
+	s.deletes.Add(1)
+	return nil
+}
+
+// List returns the keys under a prefix, sorted.
+func (s *Store) List(prefix string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.lists.Add(1)
+	var out []string
+	for k := range s.objects {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns an object's size without transferring it.
+func (s *Store) Size(key string) (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, ok := s.objects[key]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoSuchKey, key)
+	}
+	return int64(len(data)), nil
+}
+
+// TotalBytes returns the sum of object sizes.
+func (s *Store) TotalBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for _, d := range s.objects {
+		n += int64(len(d))
+	}
+	return n
+}
+
+// NumObjects returns the object count.
+func (s *Store) NumObjects() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.objects)
+}
+
+// Stats snapshots the operation counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Gets: s.gets.Load(), Puts: s.puts.Load(),
+		Deletes: s.deletes.Load(), Lists: s.lists.Load(),
+		BytesIn: s.bytesIn.Load(), BytesOut: s.bytesOut.Load(),
+	}
+}
+
+// Drop destroys an object without bookkeeping — failure injection for
+// durability tests (S3 promises 11 nines; this is the other case).
+func (s *Store) Drop(key string) {
+	s.mu.Lock()
+	delete(s.objects, key)
+	s.mu.Unlock()
+}
+
+// Corrupt flips a byte of an object — bit-rot injection.
+func (s *Store) Corrupt(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if data, ok := s.objects[key]; ok && len(data) > 0 {
+		data[len(data)/2] ^= 0xFF
+	}
+}
+
+// CopyTo replicates every object under prefix into another store (the
+// second-region disaster-recovery backup of §3.2). It returns the bytes
+// copied.
+func (s *Store) CopyTo(dst *Store, prefix string) (int64, error) {
+	var total int64
+	for _, key := range s.List(prefix) {
+		data, err := s.Get(key)
+		if err != nil {
+			return total, err
+		}
+		if err := dst.Put(key, data); err != nil {
+			return total, err
+		}
+		total += int64(len(data))
+	}
+	return total, nil
+}

@@ -1,0 +1,147 @@
+package s3sim
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"redshift/internal/sim"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := New()
+	if err := s.Put("a/b/1", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("a/b/1")
+	if err != nil || !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if !s.Exists("a/b/1") || s.Exists("nope") {
+		t.Error("Exists wrong")
+	}
+	if n, _ := s.Size("a/b/1"); n != 5 {
+		t.Errorf("Size = %d", n)
+	}
+	if err := s.Put("", []byte("x")); err == nil {
+		t.Error("empty key accepted")
+	}
+}
+
+func TestGetCopiesAreIsolated(t *testing.T) {
+	s := New()
+	s.Put("k", []byte("abc"))
+	got, _ := s.Get("k")
+	got[0] = 'X'
+	again, _ := s.Get("k")
+	if again[0] != 'a' {
+		t.Error("Get returned shared buffer")
+	}
+}
+
+func TestDeleteAndErrors(t *testing.T) {
+	s := New()
+	s.Put("k", []byte("v"))
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("k"); !errors.Is(err, ErrNoSuchKey) {
+		t.Errorf("double delete err = %v", err)
+	}
+	if _, err := s.Get("k"); !errors.Is(err, ErrNoSuchKey) {
+		t.Errorf("Get deleted err = %v", err)
+	}
+}
+
+func TestListPrefix(t *testing.T) {
+	s := New()
+	for _, k := range []string{"b/2", "a/1", "a/2", "c"} {
+		s.Put(k, []byte("x"))
+	}
+	got := s.List("a/")
+	if len(got) != 2 || got[0] != "a/1" || got[1] != "a/2" {
+		t.Errorf("List = %v", got)
+	}
+	if all := s.List(""); len(all) != 4 {
+		t.Errorf("List all = %v", all)
+	}
+}
+
+func TestStatsAndTotals(t *testing.T) {
+	s := New()
+	s.Put("a", make([]byte, 100))
+	s.Put("b", make([]byte, 50))
+	s.Get("a")
+	st := s.Stats()
+	if st.Puts != 2 || st.Gets != 1 || st.BytesIn != 150 || st.BytesOut != 100 {
+		t.Errorf("stats = %+v", st)
+	}
+	if s.TotalBytes() != 150 || s.NumObjects() != 2 {
+		t.Errorf("totals = %d / %d", s.TotalBytes(), s.NumObjects())
+	}
+}
+
+func TestFailureInjection(t *testing.T) {
+	s := New()
+	s.Put("k", []byte("payload"))
+	s.Corrupt("k")
+	got, _ := s.Get("k")
+	if bytes.Equal(got, []byte("payload")) {
+		t.Error("Corrupt did nothing")
+	}
+	s.Drop("k")
+	if s.Exists("k") {
+		t.Error("Drop did nothing")
+	}
+}
+
+func TestCrossRegionCopy(t *testing.T) {
+	src, dst := New(), New()
+	src.Put("backup/1", []byte("aa"))
+	src.Put("backup/2", []byte("bbb"))
+	src.Put("other/x", []byte("c"))
+	n, err := src.CopyTo(dst, "backup/")
+	if err != nil || n != 5 {
+		t.Fatalf("copied %d, %v", n, err)
+	}
+	if dst.NumObjects() != 2 || dst.Exists("other/x") {
+		t.Errorf("dst = %v", dst.List(""))
+	}
+}
+
+func TestDelayModelOnVirtualClock(t *testing.T) {
+	clock := sim.NewVClock(time.Unix(0, 0))
+	s := New().WithDelays(clock, 30*time.Millisecond, 100) // 100 MB/s
+	var elapsed time.Duration
+	clock.Go(func() {
+		start := clock.Now()
+		s.Put("k", make([]byte, 50*1e6)) // 50 MB → 0.5s + 30ms
+		elapsed = clock.Now().Sub(start)
+	})
+	clock.Run()
+	want := 530 * time.Millisecond
+	if elapsed != want {
+		t.Errorf("simulated PUT took %v, want %v", elapsed, want)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := string(rune('a' + i%4))
+			s.Put(key, []byte{byte(i)})
+			s.Get(key)
+			s.List("")
+		}(i)
+	}
+	wg.Wait()
+	if s.NumObjects() != 4 {
+		t.Errorf("objects = %d", s.NumObjects())
+	}
+}

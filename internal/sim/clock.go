@@ -1,0 +1,254 @@
+// Package sim provides the discrete-event simulation substrate used to
+// reproduce the paper's fleet- and petabyte-scale operational numbers
+// (Figure 2, the §1 EDW case, provisioning and patching timings) on a laptop.
+//
+// It contains a virtual clock that runs goroutine-structured "processes" in
+// simulated time, and a calibrated cost model translating bytes and
+// operations into durations for 2013-era warehouse hardware.
+package sim
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time so the control plane can run identically on the wall
+// clock (in production-style integration tests) and on simulated time (in
+// the scale benchmarks).
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep pauses the calling process for d.
+	Sleep(d time.Duration)
+}
+
+// Wall is the real clock.
+type Wall struct {
+	// Scale divides every Sleep, letting integration tests run control-plane
+	// workflows quickly while preserving ordering. Zero means 1 (no scaling).
+	Scale int
+}
+
+// Now implements Clock.
+func (Wall) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (w Wall) Sleep(d time.Duration) {
+	if w.Scale > 1 {
+		d /= time.Duration(w.Scale)
+	}
+	time.Sleep(d)
+}
+
+// VClock is a deterministic virtual clock. Processes are spawned with Go (or
+// through a Group); when every live process is blocked in Sleep or Wait, the
+// clock jumps to the earliest wakeup. Run drives the simulation to
+// completion and returns the final time.
+//
+// Processes must only block through VClock primitives (Sleep, Group.Wait);
+// blocking on plain channels or mutexes held across Sleep would deadlock the
+// advancer by keeping the process counted as runnable.
+type VClock struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	now      time.Time
+	runnable int // processes currently executing (not blocked in Sleep/Wait)
+	live     int // processes spawned and not yet finished
+	waiters  waiterHeap
+	seq      int64 // tiebreak so equal wakeups fire in spawn order
+}
+
+type waiter struct {
+	at  time.Time
+	seq int64
+	ch  chan struct{}
+}
+
+type waiterHeap []waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if h[i].at.Equal(h[j].at) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].at.Before(h[j].at)
+}
+func (h waiterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *waiterHeap) Push(x interface{}) { *h = append(*h, x.(waiter)) }
+func (h *waiterHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NewVClock returns a virtual clock starting at start.
+func NewVClock(start time.Time) *VClock {
+	c := &VClock{now: start}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Now implements Clock.
+func (c *VClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep implements Clock. Negative or zero durations yield but do not
+// advance time.
+func (c *VClock) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ch := make(chan struct{})
+	c.mu.Lock()
+	c.seq++
+	heap.Push(&c.waiters, waiter{at: c.now.Add(d), seq: c.seq, ch: ch})
+	c.runnable--
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	<-ch
+}
+
+// Go spawns a simulation process. It may be called before Run or from
+// within another process.
+func (c *VClock) Go(fn func()) {
+	c.mu.Lock()
+	c.runnable++
+	c.live++
+	c.mu.Unlock()
+	go func() {
+		defer func() {
+			c.mu.Lock()
+			c.runnable--
+			c.live--
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		}()
+		fn()
+	}()
+}
+
+// Run advances the clock until every spawned process has finished, then
+// returns the final simulated time. It must be called from outside any
+// simulation process.
+func (c *VClock) Run() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		// Wait until nothing is runnable.
+		for c.runnable > 0 {
+			c.cond.Wait()
+		}
+		if len(c.waiters) == 0 {
+			if c.live == 0 {
+				return c.now
+			}
+			// Live processes with no waiters and none runnable: they are
+			// blocked inside a Group.Wait whose children are all finished
+			// being scheduled, or this is a deadlock. Either way another
+			// broadcast round resolves Group wakeups; wait for state change.
+			c.cond.Wait()
+			continue
+		}
+		w := heap.Pop(&c.waiters).(waiter)
+		if w.at.After(c.now) {
+			c.now = w.at
+		}
+		c.runnable++
+		close(w.ch)
+	}
+}
+
+// Group is a clock-aware WaitGroup: Wait blocks the calling process without
+// counting it as runnable, so the clock can keep advancing children.
+type Group struct {
+	c       *VClock
+	mu      sync.Mutex
+	pending int
+	done    chan struct{}
+}
+
+// NewGroup returns an empty group bound to the clock.
+func (c *VClock) NewGroup() *Group {
+	return &Group{c: c, done: make(chan struct{})}
+}
+
+// Go runs fn as a child process of the group.
+func (g *Group) Go(fn func()) {
+	g.mu.Lock()
+	g.pending++
+	g.mu.Unlock()
+	g.c.Go(func() {
+		defer func() {
+			g.mu.Lock()
+			g.pending--
+			if g.pending == 0 {
+				close(g.done)
+				g.done = make(chan struct{})
+			}
+			g.mu.Unlock()
+		}()
+		fn()
+	})
+}
+
+// Wait blocks the calling process until every child spawned so far is done.
+// It must be called from within a simulation process.
+func (g *Group) Wait() {
+	g.mu.Lock()
+	if g.pending == 0 {
+		g.mu.Unlock()
+		return
+	}
+	ch := g.done
+	g.mu.Unlock()
+
+	g.c.mu.Lock()
+	g.c.runnable--
+	g.c.cond.Broadcast()
+	g.c.mu.Unlock()
+
+	<-ch
+
+	g.c.mu.Lock()
+	g.c.runnable++
+	g.c.mu.Unlock()
+}
+
+// Parallel runs the functions concurrently under the clock and waits for
+// all of them — the data-parallel shape of every admin operation in §3.2.
+// On a VClock the caller must itself be a simulation process.
+func Parallel(c Clock, fns ...func()) {
+	if vc, ok := c.(*VClock); ok {
+		g := vc.NewGroup()
+		for _, fn := range fns {
+			g.Go(fn)
+		}
+		g.Wait()
+		return
+	}
+	var wg sync.WaitGroup
+	for _, fn := range fns {
+		wg.Add(1)
+		go func(fn func()) {
+			defer wg.Done()
+			fn()
+		}(fn)
+	}
+	wg.Wait()
+}
+
+// Elapse is a convenience that runs fn as the sole root process on a fresh
+// virtual clock and returns how much simulated time it consumed.
+func Elapse(fn func(c *VClock)) time.Duration {
+	start := time.Date(2015, 5, 31, 0, 0, 0, 0, time.UTC) // SIGMOD'15 day one
+	c := NewVClock(start)
+	c.Go(func() { fn(c) })
+	end := c.Run()
+	return end.Sub(start)
+}

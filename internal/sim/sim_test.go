@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestVClockSequentialSleeps(t *testing.T) {
+	d := Elapse(func(c *VClock) {
+		c.Sleep(3 * time.Minute)
+		c.Sleep(2 * time.Minute)
+	})
+	if d != 5*time.Minute {
+		t.Errorf("elapsed = %v, want 5m", d)
+	}
+}
+
+func TestVClockParallelSleepsTakeMax(t *testing.T) {
+	d := Elapse(func(c *VClock) {
+		g := c.NewGroup()
+		for i := 1; i <= 4; i++ {
+			dur := time.Duration(i) * time.Minute
+			g.Go(func() { c.Sleep(dur) })
+		}
+		g.Wait()
+	})
+	if d != 4*time.Minute {
+		t.Errorf("elapsed = %v, want 4m (max of parallel)", d)
+	}
+}
+
+func TestVClockNestedGroups(t *testing.T) {
+	d := Elapse(func(c *VClock) {
+		outer := c.NewGroup()
+		outer.Go(func() {
+			inner := c.NewGroup()
+			inner.Go(func() { c.Sleep(10 * time.Second) })
+			inner.Go(func() { c.Sleep(20 * time.Second) })
+			inner.Wait()
+			c.Sleep(5 * time.Second) // after both children: 25s total
+		})
+		outer.Go(func() { c.Sleep(7 * time.Second) })
+		outer.Wait()
+	})
+	if d != 25*time.Second {
+		t.Errorf("elapsed = %v, want 25s", d)
+	}
+}
+
+func TestVClockOrderingDeterministic(t *testing.T) {
+	var order []int
+	Elapse(func(c *VClock) {
+		g := c.NewGroup()
+		for i := 0; i < 3; i++ {
+			i := i
+			g.Go(func() {
+				c.Sleep(time.Duration(3-i) * time.Second)
+				// Sleeps end at 3s, 2s, 1s → wake order 2, 1, 0.
+				order = append(order, i)
+			})
+		}
+		g.Wait()
+	})
+	want := []int{2, 1, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestVClockZeroSleep(t *testing.T) {
+	d := Elapse(func(c *VClock) {
+		c.Sleep(0)
+		c.Sleep(-time.Second)
+	})
+	if d != 0 {
+		t.Errorf("elapsed = %v, want 0", d)
+	}
+}
+
+func TestVClockManyProcesses(t *testing.T) {
+	var n atomic.Int64
+	d := Elapse(func(c *VClock) {
+		g := c.NewGroup()
+		for i := 0; i < 200; i++ {
+			g.Go(func() {
+				c.Sleep(time.Second)
+				n.Add(1)
+				c.Sleep(time.Second)
+			})
+		}
+		g.Wait()
+	})
+	if n.Load() != 200 {
+		t.Errorf("ran %d processes, want 200", n.Load())
+	}
+	if d != 2*time.Second {
+		t.Errorf("elapsed = %v, want 2s", d)
+	}
+}
+
+func TestWallClockScale(t *testing.T) {
+	w := Wall{Scale: 1000}
+	start := time.Now()
+	w.Sleep(time.Second)
+	if real := time.Since(start); real > 500*time.Millisecond {
+		t.Errorf("scaled sleep took %v", real)
+	}
+}
+
+func TestCostModelTransfers(t *testing.T) {
+	m := Default2013()
+	if got := m.NetTransfer(1e9); got != time.Second {
+		t.Errorf("1GB over 1000MB/s = %v, want 1s", got)
+	}
+	if got := m.DiskRead(800e6); got != time.Second {
+		t.Errorf("800MB at 800MB/s = %v, want 1s", got)
+	}
+	if m.DiskRead(0) != 0 || m.NetTransfer(-5) != 0 {
+		t.Error("non-positive bytes should cost zero")
+	}
+	if m.S3Upload(0) != m.S3GetLatency {
+		t.Error("empty upload should cost one latency")
+	}
+	if m.S3CrossRegion(1e9) <= m.S3Upload(1e9) {
+		t.Error("cross-region must cost more than local")
+	}
+}
+
+func TestParSeq(t *testing.T) {
+	if Par(time.Second, 3*time.Second, 2*time.Second) != 3*time.Second {
+		t.Error("Par is not max")
+	}
+	if Seq(time.Second, 3*time.Second) != 4*time.Second {
+		t.Error("Seq is not sum")
+	}
+	if Par() != 0 || Seq() != 0 {
+		t.Error("empty Par/Seq should be zero")
+	}
+}
+
+func TestRowsDuration(t *testing.T) {
+	if got := RowsDuration(1_000_000, 500_000); got != 2*time.Second {
+		t.Errorf("RowsDuration = %v, want 2s", got)
+	}
+	if RowsDuration(0, 100) != 0 || RowsDuration(100, 0) != 0 {
+		t.Error("degenerate RowsDuration should be zero")
+	}
+}
+
+func TestFigure2ShapeBackupProportionalToPerNodeData(t *testing.T) {
+	// §3.2: "the time required to backup an entire cluster is proportional
+	// to the data changed on a single node." Doubling nodes at fixed total
+	// data should halve backup time in the model.
+	m := Default2013()
+	total := int64(4e12) // 4 TB changed
+	d16 := m.S3Upload(total / 16)
+	d128 := m.S3Upload(total / 128)
+	if d128 >= d16 {
+		t.Errorf("backup time should fall with node count: 16=%v 128=%v", d16, d128)
+	}
+}

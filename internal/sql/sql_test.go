@@ -1,0 +1,419 @@
+package sql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"redshift/internal/compress"
+	"redshift/internal/types"
+)
+
+// reparse checks the print→parse fixpoint: String() of a parsed statement
+// must parse back to the identical rendering.
+func reparse(t *testing.T, input string) Statement {
+	t.Helper()
+	stmt, err := Parse(input)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", input, err)
+	}
+	printed := stmt.String()
+	again, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse of %q failed: %v", printed, err)
+	}
+	if again.String() != printed {
+		t.Fatalf("print→parse not a fixpoint:\n first  %s\n second %s", printed, again.String())
+	}
+	return stmt
+}
+
+func TestParseCreateTableFull(t *testing.T) {
+	stmt := reparse(t, `
+		CREATE TABLE clicks (
+			ts TIMESTAMP NOT NULL ENCODE DELTA,
+			product_id BIGINT ENCODE MOSTLY32,
+			url VARCHAR(512),
+			price DOUBLE PRECISION,
+			active BOOLEAN,
+			day DATE
+		) DISTSTYLE KEY DISTKEY(product_id) COMPOUND SORTKEY(ts, product_id)`)
+	ct := stmt.(*CreateTable)
+	if ct.Name != "clicks" || len(ct.Columns) != 6 {
+		t.Fatalf("ct = %+v", ct)
+	}
+	if ct.Columns[0].Type != types.Timestamp || !ct.Columns[0].NotNull ||
+		!ct.Columns[0].HasEncoding || ct.Columns[0].Encoding != compress.Delta {
+		t.Errorf("ts column = %+v", ct.Columns[0])
+	}
+	if ct.Columns[2].Type != types.String || ct.Columns[2].HasEncoding {
+		t.Errorf("url column = %+v", ct.Columns[2])
+	}
+	if ct.DistStyle != "KEY" || ct.DistKey != "product_id" {
+		t.Errorf("dist = %s %s", ct.DistStyle, ct.DistKey)
+	}
+	if ct.SortStyle != "COMPOUND" || len(ct.SortKeys) != 2 {
+		t.Errorf("sort = %s %v", ct.SortStyle, ct.SortKeys)
+	}
+}
+
+func TestParseCreateTableInterleaved(t *testing.T) {
+	stmt := reparse(t, `CREATE TABLE IF NOT EXISTS t (a INT, b INT, c INT) INTERLEAVED SORTKEY(a, b, c)`)
+	ct := stmt.(*CreateTable)
+	if !ct.IfNotExists || ct.SortStyle != "INTERLEAVED" || len(ct.SortKeys) != 3 {
+		t.Errorf("ct = %+v", ct)
+	}
+}
+
+func TestParseCreateTableBareSortkey(t *testing.T) {
+	ct := reparse(t, `CREATE TABLE t (a INT) SORTKEY(a)`).(*CreateTable)
+	if ct.SortStyle != "" || len(ct.SortKeys) != 1 {
+		t.Errorf("ct = %+v", ct)
+	}
+}
+
+func TestParseSelectFull(t *testing.T) {
+	stmt := reparse(t, `
+		SELECT c.product_id, COUNT(*) AS n, SUM(p.price * 2) total,
+		       APPROXIMATE COUNT(DISTINCT c.user_id)
+		FROM clicks c
+		JOIN products p ON c.product_id = p.id
+		LEFT JOIN vendors v ON p.vendor_id = v.id
+		WHERE c.ts BETWEEN TIMESTAMP '2014-01-01 00:00:00' AND TIMESTAMP '2014-02-01 00:00:00'
+		  AND p.category IN ('books', 'music') AND v.name IS NOT NULL
+		GROUP BY c.product_id
+		HAVING COUNT(*) > 10
+		ORDER BY n DESC, c.product_id
+		LIMIT 100`)
+	s := stmt.(*Select)
+	if len(s.Items) != 4 || s.Items[1].Alias != "n" || s.Items[2].Alias != "total" {
+		t.Errorf("items = %+v", s.Items)
+	}
+	if s.From.Table != "clicks" || s.From.Alias != "c" || s.From.Name() != "c" {
+		t.Errorf("from = %+v", s.From)
+	}
+	if len(s.Joins) != 2 || s.Joins[0].Kind != InnerJoin || s.Joins[1].Kind != LeftJoin {
+		t.Errorf("joins = %+v", s.Joins)
+	}
+	if s.Where == nil || len(s.GroupBy) != 1 || s.Having == nil {
+		t.Error("where/group/having missing")
+	}
+	if len(s.OrderBy) != 2 || !s.OrderBy[0].Desc || s.OrderBy[1].Desc {
+		t.Errorf("order = %+v", s.OrderBy)
+	}
+	if s.Limit != 100 {
+		t.Errorf("limit = %d", s.Limit)
+	}
+	agg := s.Items[3].Expr.(*FuncCall)
+	if !agg.Approximate || !agg.Distinct || agg.Name != FuncCount {
+		t.Errorf("approx agg = %+v", agg)
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	s := reparse(t, `SELECT * FROM t WHERE a = 1`).(*Select)
+	if !s.Items[0].Star {
+		t.Error("star not parsed")
+	}
+	if s.Limit != -1 {
+		t.Errorf("default limit = %d", s.Limit)
+	}
+}
+
+func TestParseSelectNoFrom(t *testing.T) {
+	s := reparse(t, `SELECT 1 + 2 * 3`).(*Select)
+	if s.From != nil {
+		t.Error("From should be nil")
+	}
+	b := s.Items[0].Expr.(*Binary)
+	if b.Op != OpAdd {
+		t.Errorf("precedence wrong: %s", b)
+	}
+	if inner := b.Right.(*Binary); inner.Op != OpMul {
+		t.Errorf("precedence wrong: %s", b)
+	}
+}
+
+func TestParsePrecedenceAndAssociativity(t *testing.T) {
+	e, err := ParseExpr("a - b - c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.String() != "((a - b) - c)" {
+		t.Errorf("left assoc: %s", e)
+	}
+	e, _ = ParseExpr("a OR b AND NOT c = d")
+	if e.String() != "(a OR (b AND (NOT (c = d))))" {
+		t.Errorf("logic precedence: %s", e)
+	}
+	e, _ = ParseExpr("(a + b) * c % d")
+	if e.String() != "(((a + b) * c) % d)" {
+		t.Errorf("paren + mod: %s", e)
+	}
+}
+
+func TestParseExprForms(t *testing.T) {
+	cases := []string{
+		"(x IS NULL)",
+		"(x IS NOT NULL)",
+		"(x BETWEEN 1 AND 10)",
+		"(x NOT BETWEEN 1 AND 10)",
+		"(x IN (1, 2, 3))",
+		"(x NOT IN ('a'))",
+		"(name LIKE 'foo%')",
+		"(name NOT LIKE '%bar_')",
+		"CASE WHEN (a > 1) THEN 'big' ELSE 'small' END",
+		"CASE WHEN (a = 1) THEN 1 WHEN (a = 2) THEN 4 END",
+		"COALESCE(a, b, 0)",
+		"LOWER(UPPER(name))",
+		"ABS((-5))",
+		"COUNT(DISTINCT x)",
+		"(t.a = 3.5)",
+		"DATE '2015-05-31'",
+	}
+	for _, in := range cases {
+		e, err := ParseExpr(in)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", in, err)
+			continue
+		}
+		again, err := ParseExpr(e.String())
+		if err != nil || again.String() != e.String() {
+			t.Errorf("fixpoint failed for %q → %q", in, e.String())
+		}
+	}
+}
+
+func TestParseNegativeNumberFolding(t *testing.T) {
+	e, err := ParseExpr("-42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit, ok := e.(*Literal)
+	if !ok || lit.Value.I != -42 {
+		t.Errorf("got %v", e)
+	}
+	e, _ = ParseExpr("-4.5")
+	if lit := e.(*Literal); lit.Value.F != -4.5 {
+		t.Errorf("got %v", e)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	stmt := reparse(t, `INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)`)
+	ins := stmt.(*Insert)
+	if ins.Table != "t" || len(ins.Columns) != 2 || len(ins.Rows) != 2 {
+		t.Fatalf("ins = %+v", ins)
+	}
+	if lit := ins.Rows[1][1].(*Literal); !lit.Value.Null {
+		t.Error("NULL literal not parsed")
+	}
+	stmt = reparse(t, `INSERT INTO t VALUES (1)`)
+	if len(stmt.(*Insert).Columns) != 0 {
+		t.Error("positional insert should have no columns")
+	}
+}
+
+func TestParseCopy(t *testing.T) {
+	stmt := reparse(t, `COPY clicks FROM 's3://bucket/prefix/' FORMAT CSV DELIMITER '|' COMPUPDATE ON STATUPDATE OFF GZIP`)
+	c := stmt.(*Copy)
+	if c.Table != "clicks" || c.From != "s3://bucket/prefix/" {
+		t.Fatalf("copy = %+v", c)
+	}
+	if c.Format != "CSV" || c.Delimiter != '|' || !c.GZip {
+		t.Errorf("copy opts = %+v", c)
+	}
+	if c.CompUpdate == nil || !*c.CompUpdate || c.StatUpdate == nil || *c.StatUpdate {
+		t.Errorf("knobs = %v %v", c.CompUpdate, c.StatUpdate)
+	}
+	plain := reparse(t, `COPY t FROM 'src'`).(*Copy)
+	if plain.CompUpdate != nil || plain.StatUpdate != nil {
+		t.Error("default knobs should be nil (dusty)")
+	}
+}
+
+func TestParseAdminStatements(t *testing.T) {
+	if v := reparse(t, `VACUUM`).(*Vacuum); v.Table != "" {
+		t.Errorf("VACUUM = %+v", v)
+	}
+	if v := reparse(t, `VACUUM clicks`).(*Vacuum); v.Table != "clicks" {
+		t.Errorf("VACUUM t = %+v", v)
+	}
+	a := reparse(t, `ANALYZE COMPRESSION clicks`).(*Analyze)
+	if !a.Compression || a.Table != "clicks" {
+		t.Errorf("ANALYZE = %+v", a)
+	}
+	if d := reparse(t, `DROP TABLE IF EXISTS t`).(*DropTable); !d.IfExists {
+		t.Errorf("DROP = %+v", d)
+	}
+	if tr := reparse(t, `TRUNCATE t`).(*Truncate); tr.Table != "t" {
+		t.Errorf("TRUNCATE = %+v", tr)
+	}
+	e := reparse(t, `EXPLAIN SELECT * FROM t`).(*Explain)
+	if _, ok := e.Stmt.(*Select); !ok {
+		t.Errorf("EXPLAIN = %+v", e)
+	}
+}
+
+func TestParseSemicolonAndComments(t *testing.T) {
+	stmt, err := Parse("SELECT 1; -- trailing comment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stmt.(*Select); !ok {
+		t.Error("not a select")
+	}
+	if _, err := Parse("-- just a comment"); err == nil {
+		t.Error("comment-only input should not parse as a statement")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"SELEC 1",
+		"SELECT",
+		"SELECT 1 FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t LIMIT -1",
+		"SELECT * FROM t JOIN u", // missing ON
+		"SELECT COUNT(DISTINCT *) FROM t",
+		"SELECT SUM(*) FROM t",
+		"SELECT APPROXIMATE SUM(x) FROM t",
+		"SELECT APPROXIMATE COUNT(x) FROM t",
+		"SELECT nosuchfunc(1)",
+		"CREATE TABLE t",
+		"CREATE TABLE t ()",
+		"CREATE TABLE t (a BLOB)",
+		"CREATE TABLE t (a INT) DISTSTYLE WEIRD",
+		"CREATE TABLE t (a INT ENCODE NOPE)",
+		"INSERT INTO t",
+		"COPY t FROM",
+		"COPY t FROM 'x' DELIMITER 'toolong'",
+		"COPY t FROM 'x' FORMAT XML",
+		"SELECT 'unterminated",
+		"SELECT \"unterminated",
+		"SELECT 1 ~ 2",
+		"SELECT CASE END",
+		"SELECT x NOT 5",
+		"SELECT 1 2 3 4",
+	}
+	for _, in := range cases {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseErrorsIncludeOffset(t *testing.T) {
+	_, err := Parse("SELECT * FROM t WHERE ~")
+	if err == nil || !strings.Contains(err.Error(), "offset") {
+		t.Errorf("error %v should mention offset", err)
+	}
+}
+
+func TestParseQuotedIdentifiers(t *testing.T) {
+	s := reparse(t, `SELECT "select" FROM "from"`).(*Select)
+	if s.From.Table != "from" {
+		t.Errorf("quoted table = %q", s.From.Table)
+	}
+	ref := s.Items[0].Expr.(*ColumnRef)
+	if ref.Column != "select" {
+		t.Errorf("quoted column = %q", ref.Column)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	s := reparse(t, `select a from t where b = 1 order by a desc limit 5`).(*Select)
+	if s.Limit != 5 || len(s.OrderBy) != 1 || !s.OrderBy[0].Desc {
+		t.Errorf("s = %+v", s)
+	}
+}
+
+func TestParseDecimalTypeArgs(t *testing.T) {
+	ct := reparse(t, `CREATE TABLE t (a DECIMAL(18, 4), b VARCHAR(256))`).(*CreateTable)
+	if ct.Columns[0].Type != types.Float64 || ct.Columns[1].Type != types.String {
+		t.Errorf("ct = %+v", ct.Columns)
+	}
+}
+
+func TestIsAggregate(t *testing.T) {
+	agg := &FuncCall{Name: FuncSum}
+	if !agg.IsAggregate() {
+		t.Error("SUM should be aggregate")
+	}
+	if (&FuncCall{Name: FuncLower}).IsAggregate() {
+		t.Error("LOWER should not be aggregate")
+	}
+}
+
+func TestLiteralStringEscaping(t *testing.T) {
+	e, err := ParseExpr(`'it''s'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit := e.(*Literal)
+	if lit.Value.S != "it's" {
+		t.Errorf("unescaped = %q", lit.Value.S)
+	}
+	if lit.String() != `'it''s'` {
+		t.Errorf("re-escaped = %q", lit.String())
+	}
+}
+
+// randExpr generates a random expression AST of bounded depth.
+func randExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return IntLiteral(rng.Int63n(1000) - 500)
+		case 1:
+			return StringLiteral([]string{"a", "b c", "it's", ""}[rng.Intn(4)])
+		case 2:
+			return &ColumnRef{Column: []string{"x", "y", "total"}[rng.Intn(3)]}
+		default:
+			return &ColumnRef{Table: "t", Column: "col"}
+		}
+	}
+	switch rng.Intn(8) {
+	case 0:
+		ops := []BinOp{OpAdd, OpSub, OpMul, OpDiv, OpEq, OpLt, OpGe, OpAnd, OpOr}
+		return &Binary{Op: ops[rng.Intn(len(ops))], Left: randExpr(rng, depth-1), Right: randExpr(rng, depth-1)}
+	case 1:
+		return &Unary{Op: "NOT", Expr: randExpr(rng, depth-1)}
+	case 2:
+		return &IsNull{Expr: randExpr(rng, depth-1), Not: rng.Intn(2) == 0}
+	case 3:
+		return &Between{Expr: randExpr(rng, depth-1), Lo: randExpr(rng, depth-1), Hi: randExpr(rng, depth-1), Not: rng.Intn(2) == 0}
+	case 4:
+		return &In{Expr: randExpr(rng, depth-1), List: []Expr{randExpr(rng, 0), randExpr(rng, 0)}, Not: rng.Intn(2) == 0}
+	case 5:
+		return &Like{Expr: randExpr(rng, depth-1), Pattern: "%ab_c%", Not: rng.Intn(2) == 0}
+	case 6:
+		c := &Case{Whens: []When{{Cond: randExpr(rng, depth-1), Then: randExpr(rng, depth-1)}}}
+		if rng.Intn(2) == 0 {
+			c.Else = randExpr(rng, depth-1)
+		}
+		return c
+	default:
+		return &FuncCall{Name: FuncCoalesce, Args: []Expr{randExpr(rng, depth-1), randExpr(rng, 0)}}
+	}
+}
+
+func TestPropertyRandomASTPrintParseFixpoint(t *testing.T) {
+	// For any generated expression AST, rendering it and reparsing must
+	// yield an identical rendering — the parser and printer agree on
+	// precedence, quoting and keyword handling.
+	rng := rand.New(rand.NewSource(20150604))
+	for i := 0; i < 400; i++ {
+		e := randExpr(rng, 3)
+		printed := e.String()
+		parsed, err := ParseExpr(printed)
+		if err != nil {
+			t.Fatalf("iteration %d: ParseExpr(%q): %v", i, printed, err)
+		}
+		if parsed.String() != printed {
+			t.Fatalf("iteration %d: fixpoint failed:\n printed  %s\n reparsed %s", i, printed, parsed.String())
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestParseType(t *testing.T) {
+	cases := map[string]Type{
+		"int":              Int64,
+		"BIGINT":           Int64,
+		"smallint":         Int64,
+		"varchar":          String,
+		"CHARACTER":        String,
+		"double precision": Float64,
+		"decimal":          Float64,
+		"bool":             Bool,
+		"date":             Date,
+		"timestamp":        Timestamp,
+		"blob":             Invalid,
+	}
+	for in, want := range cases {
+		if got := ParseType(in); got != want {
+			t.Errorf("ParseType(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for _, typ := range []Type{Int64, Float64, String, Bool, Date, Timestamp} {
+		if ParseType(typ.String()) != typ {
+			t.Errorf("ParseType(%v.String()) != %v", typ, typ)
+		}
+	}
+	if Invalid.String() != "INVALID" {
+		t.Errorf("Invalid.String() = %q", Invalid.String())
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{NewInt(42), "42"},
+		{NewInt(-7), "-7"},
+		{NewFloat(1.5), "1.5"},
+		{NewFloat(3), "3.0"},
+		{NewString("hello"), "hello"},
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+		{NewNull(Int64), "NULL"},
+		{NewDate(0), "1970-01-01"},
+		{NewDate(19723), "2024-01-01"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewFloat(1.1), NewFloat(1.2), -1},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("b"), NewString("b"), 0},
+		{NewBool(false), NewBool(true), -1},
+		{NewNull(Int64), NewInt(math.MinInt64), -1},
+		{NewNull(Int64), NewNull(Int64), 0},
+		{NewInt(0), NewNull(Int64), 1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareMismatchedTypesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Compare across types did not panic")
+		}
+	}()
+	Compare(NewInt(1), NewFloat(1))
+}
+
+func TestCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Compare(NewInt(a), NewInt(b)) == -Compare(NewInt(b), NewInt(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareTransitiveStrings(t *testing.T) {
+	f := func(a, b, c string) bool {
+		va, vb, vc := NewString(a), NewString(b), NewString(c)
+		if Compare(va, vb) <= 0 && Compare(vb, vc) <= 0 {
+			return Compare(va, vc) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDateRoundTrip(t *testing.T) {
+	f := func(days int32) bool {
+		d := int64(days % 100000)
+		return DateToDays(DaysToDate(d)) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseDate(t *testing.T) {
+	v, err := ParseDate("2015-05-31") // SIGMOD 2015 started May 31.
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.String(); got != "2015-05-31" {
+		t.Errorf("round trip = %q", got)
+	}
+	if _, err := ParseDate("not-a-date"); err == nil {
+		t.Error("ParseDate accepted garbage")
+	}
+}
+
+func TestParseTimestamp(t *testing.T) {
+	v, err := ParseTimestamp("2013-02-14 09:30:00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Date(2013, 2, 14, 9, 30, 0, 0, time.UTC).UnixMicro()
+	if v.I != want {
+		t.Errorf("micros = %d, want %d", v.I, want)
+	}
+	if _, err := ParseTimestamp("xyz"); err == nil {
+		t.Error("ParseTimestamp accepted garbage")
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		t    Type
+		in   string
+		want Value
+		bad  bool
+	}{
+		{Int64, "123", NewInt(123), false},
+		{Int64, " 9 ", NewInt(9), false},
+		{Int64, "", NewNull(Int64), false},
+		{Int64, "abc", Value{}, true},
+		{Float64, "2.25", NewFloat(2.25), false},
+		{String, "", NewString(""), false},
+		{String, "x", NewString("x"), false},
+		{Bool, "t", NewBool(true), false},
+		{Bool, "NO", NewBool(false), false},
+		{Bool, "maybe", Value{}, true},
+		{Date, "1999-12-31", NewDate(DateToDays(time.Date(1999, 12, 31, 0, 0, 0, 0, time.UTC))), false},
+	}
+	for _, c := range cases {
+		got, err := ParseValue(c.t, c.in)
+		if c.bad {
+			if err == nil {
+				t.Errorf("ParseValue(%v, %q) should fail", c.t, c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseValue(%v, %q): %v", c.t, c.in, err)
+			continue
+		}
+		if !Equal(got, c.want) {
+			t.Errorf("ParseValue(%v, %q) = %v, want %v", c.t, c.in, got, c.want)
+		}
+	}
+}
+
+func TestSchemaOrdinal(t *testing.T) {
+	s := NewSchema(
+		Column{Name: "id", Type: Int64},
+		Column{Name: "Name", Type: String},
+	)
+	if got := s.Ordinal("ID"); got != 0 {
+		t.Errorf("Ordinal(ID) = %d", got)
+	}
+	if got := s.Ordinal("name"); got != 1 {
+		t.Errorf("Ordinal(name) = %d", got)
+	}
+	if got := s.Ordinal("missing"); got != -1 {
+		t.Errorf("Ordinal(missing) = %d", got)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestRowCloneIndependent(t *testing.T) {
+	r := Row{NewInt(1), NewString("a")}
+	c := r.Clone()
+	c[0] = NewInt(2)
+	if r[0].I != 1 {
+		t.Error("Clone shares backing array")
+	}
+}
+
+func TestRowString(t *testing.T) {
+	r := Row{NewInt(1), NewString("a"), NewNull(Float64)}
+	if got := r.String(); got != "1|a|NULL" {
+		t.Errorf("Row.String() = %q", got)
+	}
+}
+
+func TestNumericAndFixed(t *testing.T) {
+	if !Int64.Numeric() || !Date.Numeric() || String.Numeric() || Bool.Numeric() {
+		t.Error("Numeric misclassifies")
+	}
+	if !Int64.Fixed() || String.Fixed() || Invalid.Fixed() {
+		t.Error("Fixed misclassifies")
+	}
+}
+
+func TestAsFloat(t *testing.T) {
+	if NewInt(3).AsFloat() != 3.0 {
+		t.Error("int AsFloat")
+	}
+	if NewFloat(2.5).AsFloat() != 2.5 {
+		t.Error("float AsFloat")
+	}
+}

@@ -1,0 +1,168 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorAppendGet(t *testing.T) {
+	v := NewVector(Int64, 4)
+	v.Append(NewInt(10))
+	v.AppendNull()
+	v.Append(NewInt(-3))
+	if v.Len() != 3 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	if got := v.Get(0); !Equal(got, NewInt(10)) {
+		t.Errorf("Get(0) = %v", got)
+	}
+	if !v.IsNull(1) {
+		t.Error("position 1 should be null")
+	}
+	if got := v.Get(1); !got.Null {
+		t.Errorf("Get(1) = %v, want NULL", got)
+	}
+	if got := v.Get(2); !Equal(got, NewInt(-3)) {
+		t.Errorf("Get(2) = %v", got)
+	}
+}
+
+func TestVectorNullMaskAfterLateNull(t *testing.T) {
+	v := NewVector(String, 0)
+	v.Append(NewString("a"))
+	v.Append(NewString("b"))
+	v.AppendNull()
+	if v.IsNull(0) || v.IsNull(1) || !v.IsNull(2) {
+		t.Errorf("null mask wrong: %v", v.Nulls)
+	}
+	if v.NullCount() != 1 {
+		t.Errorf("NullCount = %d", v.NullCount())
+	}
+}
+
+func TestVectorTypeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on type mismatch")
+		}
+	}()
+	NewVector(Int64, 0).Append(NewString("x"))
+}
+
+func TestVectorSliceSharesStorage(t *testing.T) {
+	v := NewVector(Float64, 0)
+	for i := 0; i < 10; i++ {
+		v.Append(NewFloat(float64(i)))
+	}
+	s := v.Slice(2, 5)
+	if s.Len() != 3 || s.Floats[0] != 2 {
+		t.Fatalf("slice = %+v", s)
+	}
+	s.Floats[0] = 99
+	if v.Floats[2] != 99 {
+		t.Error("Slice should share storage")
+	}
+}
+
+func TestVectorCloneIndependent(t *testing.T) {
+	v := NewVector(Int64, 0)
+	v.Append(NewInt(1))
+	c := v.Clone()
+	c.Ints[0] = 7
+	if v.Ints[0] != 1 {
+		t.Error("Clone shares storage")
+	}
+	if !v.Equal(v.Clone()) {
+		t.Error("Clone not Equal to original")
+	}
+}
+
+func TestVectorMinMax(t *testing.T) {
+	v := NewVector(Int64, 0)
+	v.AppendNull()
+	v.Append(NewInt(5))
+	v.Append(NewInt(-2))
+	v.Append(NewInt(9))
+	min, max, ok := v.MinMax()
+	if !ok || min.I != -2 || max.I != 9 {
+		t.Errorf("MinMax = %v %v %v", min, max, ok)
+	}
+
+	allNull := NewVector(Int64, 0)
+	allNull.AppendNull()
+	if _, _, ok := allNull.MinMax(); ok {
+		t.Error("MinMax of all-null should be !ok")
+	}
+	if _, _, ok := NewVector(String, 0).MinMax(); ok {
+		t.Error("MinMax of empty should be !ok")
+	}
+}
+
+func TestVectorMinMaxStrings(t *testing.T) {
+	v := NewVector(String, 0)
+	for _, s := range []string{"pear", "apple", "zebra"} {
+		v.Append(NewString(s))
+	}
+	min, max, _ := v.MinMax()
+	if min.S != "apple" || max.S != "zebra" {
+		t.Errorf("MinMax = %v %v", min, max)
+	}
+}
+
+func TestVectorEqual(t *testing.T) {
+	a := NewVector(Int64, 0)
+	b := NewVector(Int64, 0)
+	a.Append(NewInt(1))
+	b.Append(NewInt(1))
+	if !a.Equal(b) {
+		t.Error("equal vectors not Equal")
+	}
+	b.AppendNull()
+	if a.Equal(b) {
+		t.Error("different lengths Equal")
+	}
+	a.Append(NewInt(0)) // same placeholder payload, but non-null vs null
+	if a.Equal(b) {
+		t.Error("null vs zero Equal")
+	}
+}
+
+func TestVectorMinMaxMatchesScalarScan(t *testing.T) {
+	f := func(vals []int64) bool {
+		v := NewVector(Int64, len(vals))
+		for _, x := range vals {
+			v.Append(NewInt(x))
+		}
+		min, max, ok := v.MinMax()
+		if len(vals) == 0 {
+			return !ok
+		}
+		wantMin, wantMax := vals[0], vals[0]
+		for _, x := range vals {
+			if x < wantMin {
+				wantMin = x
+			}
+			if x > wantMax {
+				wantMax = x
+			}
+		}
+		return ok && min.I == wantMin && max.I == wantMax
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorByteSize(t *testing.T) {
+	v := NewVector(Int64, 0)
+	v.Append(NewInt(1))
+	v.Append(NewInt(2))
+	if v.ByteSize() != 16 {
+		t.Errorf("ByteSize = %d", v.ByteSize())
+	}
+	s := NewVector(String, 0)
+	s.Append(NewString("abc"))
+	if s.ByteSize() != 7 {
+		t.Errorf("string ByteSize = %d", s.ByteSize())
+	}
+}

@@ -1,0 +1,213 @@
+// Package wire implements the client/server protocol of the leader node
+// (§2.1: "The leader node accepts connections from client programs").
+//
+// The protocol is newline-delimited JSON over TCP — a deliberately simple
+// stand-in for the PostgreSQL wire format the real system speaks so that
+// "customers' existing tools ecosystem would largely work" (§3.1). One
+// request line yields exactly one response line.
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"redshift/internal/core"
+)
+
+// Request is one statement from the client.
+type Request struct {
+	Query string `json:"query"`
+}
+
+// Response is one statement's outcome.
+type Response struct {
+	Columns []string   `json:"columns,omitempty"`
+	Types   []string   `json:"types,omitempty"`
+	Rows    [][]string `json:"rows,omitempty"`
+	Message string     `json:"message,omitempty"`
+	Error   string     `json:"error,omitempty"`
+	// ExecMillis is server-side execution time.
+	ExecMillis float64 `json:"exec_ms"`
+	// Stats carries the engine counters for EXPLAIN ANALYZE-style tools.
+	Stats *Stats `json:"stats,omitempty"`
+}
+
+// Stats mirrors core.ExecStats over the wire.
+type Stats struct {
+	BlocksRead    int64 `json:"blocks_read"`
+	BlocksSkipped int64 `json:"blocks_skipped"`
+	RowsScanned   int64 `json:"rows_scanned"`
+	NetBytes      int64 `json:"net_bytes"`
+}
+
+// Executor runs SQL — the endpoint abstraction lets the server keep serving
+// across resizes and restores.
+type Executor interface {
+	Execute(query string) (*core.Result, error)
+}
+
+// Server is the leader node's TCP listener.
+type Server struct {
+	exec Executor
+
+	mu      sync.Mutex
+	ln      net.Listener
+	conns   map[net.Conn]struct{}
+	closed  bool
+	handled int64
+}
+
+// NewServer wraps an executor.
+func NewServer(exec Executor) *Server {
+	return &Server{exec: exec, conns: map[net.Conn]struct{}{}}
+}
+
+// Listen starts accepting on addr (e.g. "127.0.0.1:5439") and returns the
+// bound address. Serving happens on background goroutines.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or bad framing: drop the session
+		}
+		resp := s.handle(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req Request) *Response {
+	s.mu.Lock()
+	s.handled++
+	s.mu.Unlock()
+	start := time.Now()
+	res, err := s.exec.Execute(req.Query)
+	resp := &Response{ExecMillis: float64(time.Since(start).Microseconds()) / 1000}
+	if err != nil {
+		resp.Error = err.Error()
+		return resp
+	}
+	resp.Message = res.Message
+	for _, c := range res.Schema.Columns {
+		resp.Columns = append(resp.Columns, c.Name)
+		resp.Types = append(resp.Types, c.Type.String())
+	}
+	for _, row := range res.Rows {
+		line := make([]string, len(row))
+		for i, v := range row {
+			line[i] = v.String()
+		}
+		resp.Rows = append(resp.Rows, line)
+	}
+	resp.Stats = &Stats{
+		BlocksRead:    res.Stats.BlocksRead,
+		BlocksSkipped: res.Stats.BlocksSkipped,
+		RowsScanned:   res.Stats.RowsScanned,
+		NetBytes:      res.Stats.NetBytes,
+	}
+	return resp
+}
+
+// Handled returns how many requests the server has processed.
+func (s *Server) Handled() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.handled
+}
+
+// Close stops the listener and closes live connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	return err
+}
+
+// Client is a minimal driver.
+type Client struct {
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+		enc:  json.NewEncoder(conn),
+	}, nil
+}
+
+// Query sends one statement and waits for its response.
+func (c *Client) Query(query string) (*Response, error) {
+	if err := c.enc.Encode(Request{Query: query}); err != nil {
+		return nil, fmt.Errorf("wire: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("wire: server closed the connection")
+		}
+		return nil, fmt.Errorf("wire: receive: %w", err)
+	}
+	return &resp, nil
+}
+
+// Close ends the session.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,302 @@
+// Package zorder implements the multidimensional z-curve (Morton order) the
+// paper favors over indexes and projections (§1 design goal 5, §3.3): rows
+// sorted by interleaved sort key cluster in every key dimension at once, so
+// per-column zone maps stay selective for predicates on any key column — not
+// only the leading one — and degrade gracefully "with excess participation".
+//
+// The package provides the curve itself (encode/decode), order-preserving
+// normalizers from SQL values to fixed-width ranks, and decomposition of a
+// multidimensional box query into a small set of covering z-ranges
+// (Orenstein-Merrett [7]).
+package zorder
+
+import (
+	"fmt"
+	"math"
+
+	"redshift/internal/types"
+)
+
+// MaxDims is the largest supported number of interleaved dimensions,
+// matching Redshift's limit of eight columns in an INTERLEAVED SORTKEY.
+const MaxDims = 8
+
+// Curve interleaves dims coordinates of bits bits each into a single
+// z-value. Higher-order bits alternate across dimensions, dimension 0 first.
+type Curve struct {
+	dims int
+	bits uint
+}
+
+// NewCurve returns a curve over dims dimensions. Each dimension receives
+// min(16, 64/dims) bits so every z-value fits in a uint64.
+func NewCurve(dims int) (Curve, error) {
+	if dims < 1 || dims > MaxDims {
+		return Curve{}, fmt.Errorf("zorder: dims must be in [1,%d], got %d", MaxDims, dims)
+	}
+	bits := uint(64 / dims)
+	if bits > 16 {
+		bits = 16
+	}
+	return Curve{dims: dims, bits: bits}, nil
+}
+
+// Dims returns the number of dimensions.
+func (c Curve) Dims() int { return c.dims }
+
+// Bits returns the number of bits per dimension.
+func (c Curve) Bits() uint { return c.bits }
+
+// MaxCoord returns the largest representable coordinate.
+func (c Curve) MaxCoord() uint64 { return (1 << c.bits) - 1 }
+
+// Encode interleaves the coordinates into a z-value. Coordinates above
+// MaxCoord are clamped. len(coords) must equal Dims.
+func (c Curve) Encode(coords []uint64) uint64 {
+	if len(coords) != c.dims {
+		panic(fmt.Sprintf("zorder: encode got %d coords, curve has %d dims", len(coords), c.dims))
+	}
+	max := c.MaxCoord()
+	var z uint64
+	for b := int(c.bits) - 1; b >= 0; b-- {
+		for d := 0; d < c.dims; d++ {
+			x := coords[d]
+			if x > max {
+				x = max
+			}
+			z = z<<1 | (x>>uint(b))&1
+		}
+	}
+	return z
+}
+
+// Decode splits a z-value back into its coordinates.
+func (c Curve) Decode(z uint64) []uint64 {
+	coords := make([]uint64, c.dims)
+	total := int(c.bits) * c.dims
+	for i := 0; i < total; i++ {
+		// Bit i (from the top) of z belongs to dimension i % dims.
+		bit := (z >> uint(total-1-i)) & 1
+		d := i % c.dims
+		coords[d] = coords[d]<<1 | bit
+	}
+	return coords
+}
+
+// Range is an inclusive z-value interval.
+type Range struct {
+	Lo, Hi uint64
+}
+
+// Contains reports whether z lies in the range.
+func (r Range) Contains(z uint64) bool { return z >= r.Lo && z <= r.Hi }
+
+// Ranges decomposes the axis-aligned box [lo[d], hi[d]] (inclusive on both
+// ends, one entry per dimension) into at most maxRanges z-ranges that
+// together cover every point in the box. When the exact decomposition would
+// exceed maxRanges, subtrees are over-approximated by their full z-interval,
+// so the result may cover extra points but never misses one — the safe
+// direction for block pruning.
+func (c Curve) Ranges(lo, hi []uint64, maxRanges int) []Range {
+	if len(lo) != c.dims || len(hi) != c.dims {
+		panic("zorder: box dimensionality mismatch")
+	}
+	if maxRanges < 1 {
+		maxRanges = 1
+	}
+	clamped := func(xs []uint64) []uint64 {
+		out := make([]uint64, len(xs))
+		for i, x := range xs {
+			if x > c.MaxCoord() {
+				x = c.MaxCoord()
+			}
+			out[i] = x
+		}
+		return out
+	}
+	lo, hi = clamped(lo), clamped(hi)
+	for d := 0; d < c.dims; d++ {
+		if lo[d] > hi[d] {
+			return nil
+		}
+	}
+
+	d := &decomposer{c: c, lo: lo, hi: hi, budget: maxRanges}
+	d.visit(0, 0)
+	return mergeRanges(d.out)
+}
+
+// decomposer walks the z-order quadtree. A node at level L covers the
+// hypercube whose coordinates share the top L bits encoded in prefix.
+type decomposer struct {
+	c      Curve
+	lo, hi []uint64
+	out    []Range
+	budget int
+}
+
+// visit examines the node with the given z-prefix at the given level
+// (level = number of bits consumed per dimension).
+func (d *decomposer) visit(prefix uint64, level uint) {
+	c := d.c
+	rem := c.bits - level
+	span := uint64(1)<<(uint(c.dims)*rem) - 1
+	zLo := prefix << (uint(c.dims) * rem)
+	zHi := zLo + span
+
+	// Node hypercube bounds per dimension.
+	inside, disjoint := true, false
+	coords := c.Decode(zLo)
+	for dim := 0; dim < c.dims; dim++ {
+		cellLo := coords[dim]
+		cellHi := cellLo + (1 << rem) - 1
+		if cellLo > d.hi[dim] || cellHi < d.lo[dim] {
+			disjoint = true
+			break
+		}
+		if cellLo < d.lo[dim] || cellHi > d.hi[dim] {
+			inside = false
+		}
+	}
+	switch {
+	case disjoint:
+		return
+	case inside || rem == 0:
+		d.emit(zLo, zHi)
+		return
+	case len(d.out) >= d.budget:
+		// Budget exhausted: over-approximate with the whole subtree.
+		d.emit(zLo, zHi)
+		return
+	}
+	for child := uint64(0); child < 1<<uint(c.dims); child++ {
+		d.visit(prefix<<uint(c.dims)|child, level+1)
+	}
+}
+
+// emit records a covering range. The DFS yields ranges in ascending z
+// order, so when the budget is full the range is folded into the last one,
+// keeping the output within budget while preserving full coverage.
+func (d *decomposer) emit(zLo, zHi uint64) {
+	if len(d.out) >= d.budget {
+		if zHi > d.out[len(d.out)-1].Hi {
+			d.out[len(d.out)-1].Hi = zHi
+		}
+		return
+	}
+	d.out = append(d.out, Range{zLo, zHi})
+}
+
+// mergeRanges sorts (input is already in ascending z order from the
+// depth-first walk) and coalesces adjacent or overlapping ranges.
+func mergeRanges(rs []Range) []Range {
+	if len(rs) == 0 {
+		return rs
+	}
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		last := &out[len(out)-1]
+		if r.Lo <= last.Hi+1 && last.Hi != math.MaxUint64 || r.Lo <= last.Hi {
+			if r.Hi > last.Hi {
+				last.Hi = r.Hi
+			}
+		} else {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Normalizer maps SQL values of one column to order-preserving unsigned
+// ranks for use as curve coordinates. Ranks are monotone in the SQL order:
+// a ≤ b implies Rank(a) ≤ Rank(b). NULL ranks lowest, matching Compare.
+type Normalizer struct {
+	T types.Type
+	// MinI/MaxI bound observed integer-kind values (from table statistics);
+	// values outside are clamped.
+	MinI, MaxI int64
+	// MinF/MaxF bound observed float values.
+	MinF, MaxF float64
+}
+
+// NewNormalizer builds a normalizer for a column with the observed bounds.
+// String columns need no bounds (the rank uses the first 8 bytes).
+func NewNormalizer(t types.Type, min, max types.Value) Normalizer {
+	n := Normalizer{T: t}
+	switch t {
+	case types.Float64:
+		n.MinF, n.MaxF = min.F, max.F
+	case types.String:
+	default:
+		n.MinI, n.MaxI = min.I, max.I
+	}
+	return n
+}
+
+// Rank maps v to a coordinate in [0, 2^bits).
+func (n Normalizer) Rank(v types.Value, bits uint) uint64 {
+	if v.Null {
+		return 0
+	}
+	max := uint64(1)<<bits - 1
+	switch n.T {
+	case types.String:
+		var u uint64
+		for i := 0; i < 8; i++ {
+			u <<= 8
+			if i < len(v.S) {
+				u |= uint64(v.S[i])
+			}
+		}
+		return u >> (64 - bits)
+	case types.Float64:
+		lo, hi := floatBitsOrdered(n.MinF), floatBitsOrdered(n.MaxF)
+		return scaleRank(floatBitsOrdered(v.F), lo, hi, max)
+	default:
+		return scaleRank(intBitsOrdered(v.I), intBitsOrdered(n.MinI), intBitsOrdered(n.MaxI), max)
+	}
+}
+
+// intBitsOrdered maps int64 to uint64 preserving order.
+func intBitsOrdered(x int64) uint64 { return uint64(x) ^ (1 << 63) }
+
+// floatBitsOrdered maps float64 to uint64 preserving IEEE-754 total order
+// for finite values.
+func floatBitsOrdered(f float64) uint64 {
+	u := math.Float64bits(f)
+	if u&(1<<63) != 0 {
+		return ^u
+	}
+	return u | 1<<63
+}
+
+// scaleRank linearly scales x from [lo, hi] into [0, max], clamping.
+func scaleRank(x, lo, hi, max uint64) uint64 {
+	if x <= lo {
+		return 0
+	}
+	if x >= hi {
+		return max
+	}
+	span := hi - lo
+	if span == 0 {
+		return 0
+	}
+	// Use big-float arithmetic to avoid overflow on 64-bit spans.
+	frac := float64(x-lo) / float64(span)
+	r := uint64(frac * float64(max))
+	if r > max {
+		r = max
+	}
+	return r
+}
+
+// Key computes the z-value for one row's sort-key values using the given
+// normalizers (one per dimension, aligned with the curve).
+func (c Curve) Key(norms []Normalizer, vals []types.Value) uint64 {
+	coords := make([]uint64, c.dims)
+	for d := 0; d < c.dims; d++ {
+		coords[d] = norms[d].Rank(vals[d], c.bits)
+	}
+	return c.Encode(coords)
+}

@@ -1,0 +1,354 @@
+package zorder
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"redshift/internal/types"
+)
+
+func mustCurve(t *testing.T, dims int) Curve {
+	t.Helper()
+	c, err := NewCurve(dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewCurveValidation(t *testing.T) {
+	if _, err := NewCurve(0); err == nil {
+		t.Error("NewCurve(0) should fail")
+	}
+	if _, err := NewCurve(9); err == nil {
+		t.Error("NewCurve(9) should fail")
+	}
+	c := mustCurve(t, 2)
+	if c.Bits() != 16 || c.Dims() != 2 {
+		t.Errorf("2-dim curve: bits=%d dims=%d", c.Bits(), c.Dims())
+	}
+	c8 := mustCurve(t, 8)
+	if c8.Bits() != 8 {
+		t.Errorf("8-dim curve bits=%d, want 8", c8.Bits())
+	}
+}
+
+func TestEncodeDecodeKnownValues(t *testing.T) {
+	c := mustCurve(t, 2)
+	// Classic 2-d Morton: (x=1, y=0) and (x=0, y=1) differ in the two
+	// lowest interleaved bits; dim 0 gets the higher of the pair.
+	z10 := c.Encode([]uint64{1, 0})
+	z01 := c.Encode([]uint64{0, 1})
+	if z10 != 2 || z01 != 1 {
+		t.Errorf("Encode(1,0)=%d Encode(0,1)=%d, want 2,1", z10, z01)
+	}
+	if c.Encode([]uint64{0, 0}) != 0 {
+		t.Error("Encode(0,0) != 0")
+	}
+	maxZ := c.Encode([]uint64{c.MaxCoord(), c.MaxCoord()})
+	if maxZ != 1<<32-1 {
+		t.Errorf("Encode(max,max) = %d", maxZ)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for dims := 1; dims <= MaxDims; dims++ {
+		c := mustCurve(t, dims)
+		rng := rand.New(rand.NewSource(int64(dims)))
+		for trial := 0; trial < 200; trial++ {
+			coords := make([]uint64, dims)
+			for d := range coords {
+				coords[d] = rng.Uint64() & c.MaxCoord()
+			}
+			got := c.Decode(c.Encode(coords))
+			for d := range coords {
+				if got[d] != coords[d] {
+					t.Fatalf("dims=%d coords=%v decoded=%v", dims, coords, got)
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeClampsOversizedCoords(t *testing.T) {
+	c := mustCurve(t, 4)
+	z := c.Encode([]uint64{1 << 60, 0, 0, 0})
+	want := c.Encode([]uint64{c.MaxCoord(), 0, 0, 0})
+	if z != want {
+		t.Errorf("oversized coord not clamped: %d vs %d", z, want)
+	}
+}
+
+func TestEncodeDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	mustCurve(t, 2).Encode([]uint64{1})
+}
+
+func TestRangesExactSmallBox(t *testing.T) {
+	c := mustCurve(t, 2)
+	lo := []uint64{2, 3}
+	hi := []uint64{5, 6}
+	ranges := Ranges2DCheck(t, c, lo, hi, 64)
+	_ = ranges
+}
+
+// Ranges2DCheck verifies coverage soundness: every point inside the box has
+// its z-value in some range, and (when the budget is generous) points far
+// outside are not covered gratuitously.
+func Ranges2DCheck(t *testing.T, c Curve, lo, hi []uint64, budget int) []Range {
+	t.Helper()
+	ranges := c.Ranges(lo, hi, budget)
+	if len(ranges) > budget {
+		t.Fatalf("got %d ranges, budget %d", len(ranges), budget)
+	}
+	inRanges := func(z uint64) bool {
+		for _, r := range ranges {
+			if r.Contains(z) {
+				return true
+			}
+		}
+		return false
+	}
+	// Check all points for small boxes, a dense random sample for large.
+	area := (hi[0] - lo[0] + 1) * (hi[1] - lo[1] + 1)
+	if area <= 1<<14 {
+		for x := lo[0]; x <= hi[0]; x++ {
+			for y := lo[1]; y <= hi[1]; y++ {
+				if !inRanges(c.Encode([]uint64{x, y})) {
+					t.Fatalf("point (%d,%d) in box not covered", x, y)
+				}
+			}
+		}
+	} else {
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 20000; i++ {
+			x := lo[0] + uint64(rng.Int63n(int64(hi[0]-lo[0]+1)))
+			y := lo[1] + uint64(rng.Int63n(int64(hi[1]-lo[1]+1)))
+			if !inRanges(c.Encode([]uint64{x, y})) {
+				t.Fatalf("point (%d,%d) in box not covered", x, y)
+			}
+		}
+	}
+	// Ranges must be sorted and non-overlapping.
+	for i := 1; i < len(ranges); i++ {
+		if ranges[i].Lo <= ranges[i-1].Hi {
+			t.Fatalf("ranges overlap or unsorted: %v", ranges)
+		}
+	}
+	return ranges
+}
+
+func TestRangesBudgetOverApproximates(t *testing.T) {
+	c := mustCurve(t, 2)
+	lo := []uint64{100, 200}
+	hi := []uint64{5000, 7000}
+	for _, budget := range []int{1, 2, 4, 16} {
+		Ranges2DCheck(t, c, lo, hi, budget)
+	}
+}
+
+func TestRangesEmptyBox(t *testing.T) {
+	c := mustCurve(t, 2)
+	if rs := c.Ranges([]uint64{5, 5}, []uint64{4, 9}, 16); rs != nil {
+		t.Errorf("inverted box should produce nil, got %v", rs)
+	}
+}
+
+func TestRangesSinglePoint(t *testing.T) {
+	c := mustCurve(t, 3)
+	pt := []uint64{7, 11, 13}
+	rs := c.Ranges(pt, pt, 16)
+	if len(rs) != 1 {
+		t.Fatalf("single point → %v", rs)
+	}
+	z := c.Encode(pt)
+	if rs[0].Lo != z || rs[0].Hi != z {
+		t.Errorf("range %v, want [%d,%d]", rs[0], z, z)
+	}
+}
+
+func TestRangesFullDomainIsOneRange(t *testing.T) {
+	c := mustCurve(t, 2)
+	rs := c.Ranges([]uint64{0, 0}, []uint64{c.MaxCoord(), c.MaxCoord()}, 4)
+	if len(rs) != 1 || rs[0].Lo != 0 || rs[0].Hi != 1<<32-1 {
+		t.Errorf("full domain → %v", rs)
+	}
+}
+
+func TestRangesPropertyCoverage(t *testing.T) {
+	c := mustCurve(t, 2)
+	f := func(ax, ay, bx, by uint16, seed int64) bool {
+		lo := []uint64{uint64(min16(ax, bx)), uint64(min16(ay, by))}
+		hi := []uint64{uint64(max16(ax, bx)), uint64(max16(ay, by))}
+		ranges := c.Ranges(lo, hi, 32)
+		// Sample random points inside the box; all must be covered.
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 50; i++ {
+			x := lo[0] + uint64(rng.Int63n(int64(hi[0]-lo[0]+1)))
+			y := lo[1] + uint64(rng.Int63n(int64(hi[1]-lo[1]+1)))
+			z := c.Encode([]uint64{x, y})
+			covered := false
+			for _, r := range ranges {
+				if r.Contains(z) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func min16(a, b uint16) uint16 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func max16(a, b uint16) uint16 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestNormalizerIntMonotone(t *testing.T) {
+	n := NewNormalizer(types.Int64, types.NewInt(-1000), types.NewInt(1000))
+	f := func(a, b int16) bool {
+		ra := n.Rank(types.NewInt(int64(a)), 16)
+		rb := n.Rank(types.NewInt(int64(b)), 16)
+		if a <= b {
+			return ra <= rb
+		}
+		return ra >= rb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizerIntExtremeRange(t *testing.T) {
+	n := NewNormalizer(types.Int64, types.NewInt(-1<<62), types.NewInt(1<<62))
+	vals := []int64{-1 << 62, -12345, 0, 98765, 1 << 62}
+	prev := uint64(0)
+	for i, x := range vals {
+		r := n.Rank(types.NewInt(x), 16)
+		if i > 0 && r < prev {
+			t.Errorf("rank not monotone at %d: %d < %d", x, r, prev)
+		}
+		prev = r
+	}
+	if n.Rank(types.NewInt(-1<<62), 16) != 0 {
+		t.Error("min should rank 0")
+	}
+	if n.Rank(types.NewInt(1<<62), 16) != 1<<16-1 {
+		t.Error("max should rank to top")
+	}
+}
+
+func TestNormalizerFloatMonotone(t *testing.T) {
+	n := NewNormalizer(types.Float64, types.NewFloat(-1e6), types.NewFloat(1e6))
+	f := func(a, b float32) bool {
+		ra := n.Rank(types.NewFloat(float64(a)), 16)
+		rb := n.Rank(types.NewFloat(float64(b)), 16)
+		if float64(a) <= float64(b) {
+			return ra <= rb
+		}
+		return ra >= rb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizerStringMonotone(t *testing.T) {
+	n := NewNormalizer(types.String, types.Value{}, types.Value{})
+	f := func(a, b string) bool {
+		ra := n.Rank(types.NewString(a), 16)
+		rb := n.Rank(types.NewString(b), 16)
+		if a <= b {
+			return ra <= rb
+		}
+		return ra >= rb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizerNullRanksLowest(t *testing.T) {
+	n := NewNormalizer(types.Int64, types.NewInt(0), types.NewInt(100))
+	if n.Rank(types.NewNull(types.Int64), 16) != 0 {
+		t.Error("NULL should rank 0")
+	}
+}
+
+func TestNormalizerDegenerateRange(t *testing.T) {
+	n := NewNormalizer(types.Int64, types.NewInt(7), types.NewInt(7))
+	if got := n.Rank(types.NewInt(7), 16); got != 0 {
+		t.Errorf("degenerate range rank = %d", got)
+	}
+}
+
+func TestKeyClustersBothDimensions(t *testing.T) {
+	// The heart of the §3.3 claim: sort 64x64 grid points by z-key, cut the
+	// sorted sequence into blocks, and verify that a predicate on either
+	// dimension alone prunes most blocks via min/max.
+	c := mustCurve(t, 2)
+	norms := []Normalizer{
+		NewNormalizer(types.Int64, types.NewInt(0), types.NewInt(63)),
+		NewNormalizer(types.Int64, types.NewInt(0), types.NewInt(63)),
+	}
+	type pt struct {
+		x, y int64
+		z    uint64
+	}
+	var pts []pt
+	for x := int64(0); x < 64; x++ {
+		for y := int64(0); y < 64; y++ {
+			z := c.Key(norms, []types.Value{types.NewInt(x), types.NewInt(y)})
+			pts = append(pts, pt{x, y, z})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].z < pts[j].z })
+
+	const blockSize = 256 // 16 blocks over 4096 points
+	survivors := func(sel func(pt) bool) int {
+		n := 0
+		for b := 0; b < len(pts); b += blockSize {
+			blk := pts[b : b+blockSize]
+			hit := false
+			for _, p := range blk {
+				if sel(p) {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				n++
+			}
+		}
+		return n
+	}
+	totalBlocks := len(pts) / blockSize
+	onX := survivors(func(p pt) bool { return p.x >= 10 && p.x <= 13 })
+	onY := survivors(func(p pt) bool { return p.y >= 10 && p.y <= 13 })
+	if onX > totalBlocks/2 {
+		t.Errorf("x predicate keeps %d/%d blocks; z-order should prune", onX, totalBlocks)
+	}
+	if onY > totalBlocks/2 {
+		t.Errorf("y predicate keeps %d/%d blocks; z-order should prune (non-leading column!)", onY, totalBlocks)
+	}
+}
