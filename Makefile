@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build test race bench
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# Vet plus race-detector runs over the packages with the most concurrency:
+# the distributed cluster, the query engine, and the telemetry registry.
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/cluster ./internal/core ./internal/telemetry
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

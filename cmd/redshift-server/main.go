@@ -6,12 +6,16 @@
 // Usage:
 //
 //	redshift-server -addr 127.0.0.1:5439 -nodes 4 -slices 2 [-demo]
+//
+// Operational metrics (counters, gauges, latency quantiles) are served as
+// plain text on http://<metrics-addr>/metrics; -metrics "" disables them.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -29,6 +33,7 @@ func main() {
 	interpreted := flag.Bool("interpreted", false, "use the row-at-a-time engine")
 	encrypted := flag.Bool("encrypted", false, "encrypt all at-rest backup data (§3.2)")
 	slots := flag.Int("slots", 0, "WLM query slots (0 = unlimited)")
+	metricsAddr := flag.String("metrics", "127.0.0.1:5440", "metrics HTTP address (empty disables)")
 	flag.Parse()
 
 	wh, err := redshift.Launch(redshift.Options{
@@ -54,6 +59,20 @@ func main() {
 		log.Fatalf("listen: %v", err)
 	}
 	log.Printf("leader node accepting connections on %s (%d nodes × %d slices)", bound, *nodes, *slices)
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(rw http.ResponseWriter, _ *http.Request) {
+			rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(rw, wh.Metrics().Render())
+		})
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				log.Printf("metrics endpoint: %v", err)
+			}
+		}()
+		log.Printf("metrics on http://%s/metrics", *metricsAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

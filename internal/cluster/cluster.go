@@ -17,8 +17,47 @@ import (
 	"redshift/internal/catalog"
 	"redshift/internal/exec"
 	"redshift/internal/storage"
+	"redshift/internal/telemetry"
 	"redshift/internal/types"
 )
+
+// TransferKind tags why bytes crossed a node boundary, so telemetry can
+// split "the network is busy" into shuffle vs. broadcast vs. replication
+// vs. recovery traffic — the attribution §3's monitoring depends on.
+type TransferKind uint8
+
+const (
+	// TransferShuffle is join/aggregate repartitioning between slices.
+	TransferShuffle TransferKind = iota
+	// TransferBroadcast is an inner join side replicated to every node.
+	TransferBroadcast
+	// TransferGather is per-slice results shipped to the leader.
+	TransferGather
+	// TransferReplication is synchronous secondary block replication.
+	TransferReplication
+	// TransferRecovery is failure masking: page-fault fail-over reads and
+	// node-rebuild traffic.
+	TransferRecovery
+	numTransferKinds
+)
+
+// String names the kind as metrics report it.
+func (k TransferKind) String() string {
+	switch k {
+	case TransferShuffle:
+		return "shuffle"
+	case TransferBroadcast:
+		return "broadcast"
+	case TransferGather:
+		return "gather"
+	case TransferReplication:
+		return "replication"
+	case TransferRecovery:
+		return "recovery"
+	default:
+		return "unknown"
+	}
+}
 
 // Config sizes a cluster.
 type Config struct {
@@ -93,8 +132,15 @@ type Cluster struct {
 	slices []*Slice
 
 	// netBytes counts bytes that crossed a node boundary (shuffles,
-	// broadcasts, replication, node rebuilds).
-	netBytes atomic.Int64
+	// broadcasts, replication, node rebuilds); kindBytes splits the same
+	// total by TransferKind for attribution.
+	netBytes  atomic.Int64
+	kindBytes [numTransferKinds]atomic.Int64
+
+	// metricBytes, when wired via SetMetrics, mirrors kindBytes into the
+	// shared registry as net_<kind>_bytes_total counters (pre-resolved so
+	// the hot path never takes the registry lock).
+	metricBytes [numTransferKinds]*telemetry.Counter
 
 	// rrMu guards per-table round-robin cursors for EVEN distribution.
 	rrMu sync.Mutex
@@ -143,14 +189,40 @@ func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
 // NetBytes returns the cross-node traffic counter.
 func (c *Cluster) NetBytes() int64 { return c.netBytes.Load() }
 
-// ResetNetBytes zeroes the traffic counter (between benchmark phases).
-func (c *Cluster) ResetNetBytes() { c.netBytes.Store(0) }
+// NetBytesByKind returns the cross-node traffic attributed to one kind.
+func (c *Cluster) NetBytesByKind(kind TransferKind) int64 {
+	return c.kindBytes[kind].Load()
+}
 
-// AccountTransfer records bytes moving between two nodes; same-node moves
-// are free, like slice-to-slice traffic inside a box.
-func (c *Cluster) AccountTransfer(fromNode, toNode int, bytes int64) {
-	if fromNode != toNode {
-		c.netBytes.Add(bytes)
+// ResetNetBytes zeroes the traffic counters (between benchmark phases).
+func (c *Cluster) ResetNetBytes() {
+	c.netBytes.Store(0)
+	for i := range c.kindBytes {
+		c.kindBytes[i].Store(0)
+	}
+}
+
+// SetMetrics mirrors per-kind transfer bytes into a shared registry.
+func (c *Cluster) SetMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	for k := TransferKind(0); k < numTransferKinds; k++ {
+		c.metricBytes[k] = reg.Counter("net_" + k.String() + "_bytes_total")
+	}
+}
+
+// AccountTransfer records bytes moving between two nodes, attributed to a
+// transfer direction; same-node moves are free, like slice-to-slice traffic
+// inside a box.
+func (c *Cluster) AccountTransfer(fromNode, toNode int, bytes int64, kind TransferKind) {
+	if fromNode == toNode {
+		return
+	}
+	c.netBytes.Add(bytes)
+	c.kindBytes[kind].Add(bytes)
+	if m := c.metricBytes[kind]; m != nil {
+		m.Add(bytes)
 	}
 }
 
@@ -240,7 +312,7 @@ func (c *Cluster) AppendSegment(sliceID int, seg *storage.Segment, xid int64) er
 		seg.Blocks(func(b *storage.Block) {
 			payload := append([]byte(nil), b.Payload()...)
 			secNode.secondary[b.ID] = payload
-			c.AccountTransfer(sl.Node.ID, sec, int64(len(payload)))
+			c.AccountTransfer(sl.Node.ID, sec, int64(len(payload)), TransferReplication)
 		})
 		secNode.mu.Unlock()
 	}
@@ -281,7 +353,7 @@ func (c *Cluster) ReplicateAll() {
 					if b.Resident() {
 						if _, ok := secNode.secondary[b.ID]; !ok {
 							secNode.secondary[b.ID] = append([]byte(nil), b.Payload()...)
-							c.AccountTransfer(sl.Node.ID, sec, b.ByteSize())
+							c.AccountTransfer(sl.Node.ID, sec, b.ByteSize(), TransferReplication)
 						}
 					}
 				})
@@ -355,6 +427,7 @@ func (c *Cluster) PruneDropped(oldestActive int64) int {
 // xid — the rollback path when a write statement fails after registering
 // some slices' segments.
 func (c *Cluster) DiscardXid(tableID, xid int64) {
+	remaining := 0
 	for _, sl := range c.slices {
 		sl.mu.Lock()
 		entries := sl.shards[tableID]
@@ -369,12 +442,24 @@ func (c *Cluster) DiscardXid(tableID, xid int64) {
 			kept = append(kept, e)
 		}
 		sl.shards[tableID] = kept
+		remaining += len(kept)
 		sl.mu.Unlock()
+	}
+	// A table created by the aborted transaction leaves no segments behind;
+	// reclaim its round-robin cursor too.
+	if remaining == 0 {
+		c.rrMu.Lock()
+		delete(c.rr, tableID)
+		c.rrMu.Unlock()
 	}
 }
 
-// DropTable removes a table's shards everywhere.
+// DropTable removes a table's shards everywhere, including its EVEN
+// round-robin cursor — without that, create/drop churn grows c.rr forever.
 func (c *Cluster) DropTable(tableID int64) {
+	c.rrMu.Lock()
+	delete(c.rr, tableID)
+	c.rrMu.Unlock()
 	for _, sl := range c.slices {
 		sl.mu.Lock()
 		delete(sl.shards, tableID)
@@ -447,8 +532,15 @@ func (c *Cluster) FailNode(nodeID int) {
 // FetchBlock resolves a block payload for a page fault: secondary replica
 // first, then the S3 backup ("The primary, secondary and Amazon S3 copies
 // of the data block are each available for read, making media failures
-// transparent"). It returns the bytes moved so callers can account traffic.
+// transparent").
 func (c *Cluster) FetchBlock(b *storage.Block) error {
+	_, err := c.fetchBlock(b)
+	return err
+}
+
+// fetchBlock is FetchBlock returning the bytes moved, so recovery can
+// account its own traffic without reading the shared counter.
+func (c *Cluster) fetchBlock(b *storage.Block) (int64, error) {
 	primaryNode := int(b.ID.Slice) / c.cfg.SlicesPerNode
 	if sec := c.SecondaryNode(primaryNode); sec >= 0 && !c.nodes[sec].Failed() {
 		secNode := c.nodes[sec]
@@ -456,18 +548,18 @@ func (c *Cluster) FetchBlock(b *storage.Block) error {
 		payload, ok := secNode.secondary[b.ID]
 		secNode.mu.RUnlock()
 		if ok {
-			c.AccountTransfer(sec, primaryNode, int64(len(payload)))
-			return b.Fill(payload)
+			c.AccountTransfer(sec, primaryNode, int64(len(payload)), TransferRecovery)
+			return int64(len(payload)), b.Fill(payload)
 		}
 	}
 	if c.fetchBackup != nil {
 		payload, err := c.fetchBackup(b)
 		if err == nil {
-			c.AccountTransfer(-1, primaryNode, int64(len(payload)))
-			return b.Fill(payload)
+			c.AccountTransfer(-1, primaryNode, int64(len(payload)), TransferRecovery)
+			return int64(len(payload)), b.Fill(payload)
 		}
 	}
-	return fmt.Errorf("cluster: block %s: no replica available", b.ID)
+	return 0, fmt.Errorf("cluster: block %s: no replica available", b.ID)
 }
 
 // RecoverNode rebuilds a failed node from secondaries and S3 — the
@@ -475,7 +567,6 @@ func (c *Cluster) FetchBlock(b *storage.Block) error {
 // restored and the bytes moved.
 func (c *Cluster) RecoverNode(nodeID int) (blocks int, bytes int64, err error) {
 	node := c.nodes[nodeID]
-	start := c.netBytes.Load()
 	for _, sl := range c.slices {
 		if sl.Node != node {
 			continue
@@ -493,22 +584,25 @@ func (c *Cluster) RecoverNode(nodeID int) (blocks int, bytes int64, err error) {
 		}
 		sl.mu.RUnlock()
 		for _, b := range all {
-			if ferr := c.FetchBlock(b); ferr != nil {
-				return blocks, c.netBytes.Load() - start, ferr
+			n, ferr := c.fetchBlock(b)
+			bytes += n
+			if ferr != nil {
+				return blocks, bytes, ferr
 			}
 			blocks++
 		}
 	}
 	// Re-establish the node's own secondary copies for its cohort peers.
-	c.reReplicateTo(nodeID)
+	bytes += c.reReplicateTo(nodeID)
 	node.failed.Store(false)
-	return blocks, c.netBytes.Load() - start, nil
+	return blocks, bytes, nil
 }
 
 // reReplicateTo repopulates nodeID's secondary map from its cohort peers'
-// primary blocks.
-func (c *Cluster) reReplicateTo(nodeID int) {
+// primary blocks, returning the bytes transferred.
+func (c *Cluster) reReplicateTo(nodeID int) int64 {
 	node := c.nodes[nodeID]
+	var bytes int64
 	for _, sl := range c.slices {
 		if c.SecondaryNode(sl.Node.ID) != nodeID || sl.Node.Failed() {
 			continue
@@ -520,7 +614,8 @@ func (c *Cluster) reReplicateTo(nodeID int) {
 				e.Seg.Blocks(func(b *storage.Block) {
 					if b.Resident() {
 						node.secondary[b.ID] = append([]byte(nil), b.Payload()...)
-						c.AccountTransfer(sl.Node.ID, nodeID, b.ByteSize())
+						c.AccountTransfer(sl.Node.ID, nodeID, b.ByteSize(), TransferRecovery)
+						bytes += b.ByteSize()
 					}
 				})
 			}
@@ -528,6 +623,7 @@ func (c *Cluster) reReplicateTo(nodeID int) {
 		node.mu.Unlock()
 		sl.mu.RUnlock()
 	}
+	return bytes
 }
 
 // EvictAll drops every payload on the cluster while keeping metadata — the

@@ -324,17 +324,136 @@ func TestCollocatedVsShuffleTrafficShape(t *testing.T) {
 	// queries is accounted by the engine (exercised in core tests). Here we
 	// just verify accounting: same-node is free, cross-node is counted.
 	c := testCluster(t, 2, 1)
-	c.AccountTransfer(0, 0, 1000)
+	c.AccountTransfer(0, 0, 1000, TransferShuffle)
 	if c.NetBytes() != 0 {
 		t.Error("same-node transfer should be free")
 	}
-	c.AccountTransfer(0, 1, 1000)
+	c.AccountTransfer(0, 1, 1000, TransferShuffle)
 	if c.NetBytes() != 1000 {
 		t.Error("cross-node transfer not counted")
 	}
+	if c.NetBytesByKind(TransferShuffle) != 1000 {
+		t.Error("shuffle bytes not attributed")
+	}
+	if c.NetBytesByKind(TransferBroadcast) != 0 {
+		t.Error("broadcast bytes misattributed")
+	}
 	c.ResetNetBytes()
-	if c.NetBytes() != 0 {
+	if c.NetBytes() != 0 || c.NetBytesByKind(TransferShuffle) != 0 {
 		t.Error("reset failed")
+	}
+}
+
+func TestDropTableReclaimsRoundRobinCursor(t *testing.T) {
+	// Regression: DropTable left the EVEN round-robin cursor in c.rr, so
+	// create/drop churn grew the map without bound.
+	c := testCluster(t, 2, 2)
+	for i := 0; i < 100; i++ {
+		def := intTable(catalog.DistEven)
+		def.ID = int64(100 + i)
+		c.DistributeRows(def, mkRows(8))
+		c.DropTable(def.ID)
+	}
+	c.rrMu.Lock()
+	n := len(c.rr)
+	c.rrMu.Unlock()
+	if n != 0 {
+		t.Errorf("rr cursors leaked: %d entries after drop churn", n)
+	}
+}
+
+func TestDiscardXidReclaimsRoundRobinCursor(t *testing.T) {
+	// A table created by an aborted transaction has its only segments
+	// registered under the aborted xid; discarding them must also reclaim
+	// the round-robin cursor.
+	c := testCluster(t, 2, 2)
+	def := intTable(catalog.DistEven)
+	def.ID = 42
+	parts := c.DistributeRows(def, mkRows(16))
+	for s, rows := range parts {
+		if len(rows) == 0 {
+			continue
+		}
+		if err := c.AppendSegment(s, mkSegment(t, def.ID, int32(s), rows), 9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.DiscardXid(def.ID, 9)
+	c.rrMu.Lock()
+	_, leaked := c.rr[def.ID]
+	c.rrMu.Unlock()
+	if leaked {
+		t.Error("rr cursor survived DiscardXid of a table with no other segments")
+	}
+
+	// But a pre-existing table keeps its cursor when only one xid's
+	// segments are discarded.
+	pre := intTable(catalog.DistEven)
+	pre.ID = 43
+	parts = c.DistributeRows(pre, mkRows(16))
+	for s, rows := range parts {
+		if len(rows) == 0 {
+			continue
+		}
+		if err := c.AppendSegment(s, mkSegment(t, pre.ID, int32(s), rows), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.DiscardXid(pre.ID, 9) // no segments under xid 9
+	c.rrMu.Lock()
+	_, kept := c.rr[pre.ID]
+	c.rrMu.Unlock()
+	if !kept {
+		t.Error("rr cursor dropped for a table that still has segments")
+	}
+}
+
+func TestRecoverNodeBytesIsolatedFromConcurrentTraffic(t *testing.T) {
+	// Regression: RecoverNode reported netBytes.Load()-start, so any
+	// transfer concurrent with the recovery was misattributed to it. The
+	// backup fetcher runs once per recovered block, so injecting unrelated
+	// traffic there lands mid-recovery deterministically — no scheduler
+	// luck needed.
+	c := testCluster(t, 1, 2) // single node: every recovery fetch hits backup
+	def := intTable(catalog.DistEven)
+	parts := c.DistributeRows(def, mkRows(256))
+	for s, rows := range parts {
+		if len(rows) == 0 {
+			continue
+		}
+		if err := c.AppendSegment(s, mkSegment(t, 7, int32(s), rows), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	payloads := map[storage.BlockID][]byte{}
+	c.AllBlocks(func(b *storage.Block) {
+		payloads[b.ID] = append([]byte(nil), b.Payload()...)
+	})
+	noise := false
+	c.SetBackupFetcher(func(b *storage.Block) ([]byte, error) {
+		if noise {
+			c.AccountTransfer(0, -1, 1<<20, TransferShuffle)
+		}
+		return payloads[b.ID], nil
+	})
+
+	c.FailNode(0)
+	_, quiet, err := c.RecoverNode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quiet == 0 {
+		t.Fatal("quiet recovery moved no bytes")
+	}
+
+	c.FailNode(0)
+	noise = true
+	_, noisy, err := c.RecoverNode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy != quiet {
+		t.Errorf("recovery bytes polluted by concurrent traffic: quiet=%d noisy=%d", quiet, noisy)
 	}
 }
 

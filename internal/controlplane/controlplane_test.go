@@ -10,6 +10,7 @@ import (
 	"redshift/internal/core"
 	"redshift/internal/s3sim"
 	"redshift/internal/sim"
+	"redshift/internal/telemetry"
 )
 
 // elapse runs a control-plane operation on a virtual clock and returns the
@@ -415,4 +416,49 @@ func TestFleetPatcherValidation(t *testing.T) {
 			t.Errorf("versions = %v", got)
 		}
 	})
+}
+
+func TestWorkflowFamily(t *testing.T) {
+	cases := map[string]string{
+		"provision-16":    "provision",
+		"resize-2-to-16":  "resize",
+		"patch-8":         "patch",
+		"rollback-8":      "rollback",
+		"connect":         "connect",
+		"replace-node":    "replace-node",
+		"backup-128":      "backup",
+	}
+	for in, want := range cases {
+		if got := workflowFamily(in); got != want {
+			t.Errorf("workflowFamily(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEngineEmitsWorkflowMetrics(t *testing.T) {
+	clock := sim.NewVClock(time.Unix(0, 0))
+	e := NewEngine(clock, sim.Default2013())
+	reg := telemetry.NewRegistry()
+	e.Metrics = reg
+	clock.Go(func() {
+		e.Run("provision-4", Step{Name: "ok", Do: func() error { return nil }})
+		e.Run("provision-16", Step{Name: "ok", Do: func() error { return nil }})
+		e.Run("patch-4", Step{Name: "boom", Do: func() error { return fmt.Errorf("nope") }})
+	})
+	clock.Run()
+	if got := reg.Counter("controlplane_provision_runs").Value(); got != 2 {
+		t.Errorf("provision runs = %d", got)
+	}
+	if got := reg.Counter("controlplane_patch_runs").Value(); got != 1 {
+		t.Errorf("patch runs = %d", got)
+	}
+	if got := reg.Counter("controlplane_patch_failures").Value(); got != 1 {
+		t.Errorf("patch failures = %d", got)
+	}
+	if got := reg.Counter("controlplane_provision_failures").Value(); got != 0 {
+		t.Errorf("provision failures = %d", got)
+	}
+	if got := reg.Histogram("controlplane_workflow_seconds").Count(); got != 3 {
+		t.Errorf("workflow durations observed = %d", got)
+	}
 }

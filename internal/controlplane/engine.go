@@ -11,10 +11,12 @@ package controlplane
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
 	"redshift/internal/sim"
+	"redshift/internal/telemetry"
 )
 
 // Step is one unit of a workflow: a named action with bounded retries.
@@ -51,6 +53,9 @@ type Engine struct {
 	StepOverhead time.Duration
 	// RetryBackoff is slept between attempts.
 	RetryBackoff time.Duration
+	// Metrics, when set, receives per-workflow-family run/failure counters
+	// and a duration histogram.
+	Metrics *telemetry.Registry
 
 	mu   sync.Mutex
 	runs []*RunLog
@@ -99,7 +104,41 @@ func (e *Engine) Run(name string, steps ...Step) (*RunLog, error) {
 	e.mu.Lock()
 	e.runs = append(e.runs, log)
 	e.mu.Unlock()
+	if e.Metrics != nil {
+		fam := workflowFamily(name)
+		e.Metrics.Counter("controlplane_" + fam + "_runs").Inc()
+		if log.Err != nil {
+			e.Metrics.Counter("controlplane_" + fam + "_failures").Inc()
+		}
+		e.Metrics.Histogram("controlplane_workflow_seconds").Observe(log.Duration.Seconds())
+	}
 	return log, log.Err
+}
+
+// workflowFamily strips instance suffixes from a workflow name so metrics
+// aggregate per kind: "resize-2-to-16" → "resize", "patch-8" → "patch".
+func workflowFamily(name string) string {
+	parts := strings.Split(name, "-")
+	for len(parts) > 1 {
+		last := parts[len(parts)-1]
+		if last != "to" && !isDigits(last) {
+			break
+		}
+		parts = parts[:len(parts)-1]
+	}
+	return strings.Join(parts, "-")
+}
+
+func isDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
 }
 
 // Runs returns the completed workflow logs.

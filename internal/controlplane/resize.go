@@ -111,5 +111,10 @@ func ResizeDatabase(ep *Endpoint, target core.Config) (ResizeStats, error) {
 	stats.Tables = len(defs)
 	stats.Rows = rowCount.Load()
 	ep.Swap(dst)
+	if target.Metrics != nil {
+		target.Metrics.Counter("resize_runs_total").Inc()
+		target.Metrics.Counter("resize_rows_moved_total").Add(stats.Rows)
+		target.Metrics.Counter("resize_tables_moved_total").Add(int64(stats.Tables))
+	}
 	return stats, nil
 }

@@ -22,6 +22,7 @@ import (
 	"redshift/internal/s3sim"
 	"redshift/internal/sql"
 	"redshift/internal/storage"
+	"redshift/internal/telemetry"
 	"redshift/internal/txn"
 	"redshift/internal/types"
 )
@@ -40,6 +41,12 @@ type Config struct {
 	// QuerySlots bounds concurrent SELECTs (the WLM queue); 0 means
 	// unlimited.
 	QuerySlots int
+	// Metrics is the shared telemetry registry; a private one is created
+	// when nil, so emission code never nil-checks. Passing one in lets the
+	// warehouse layer keep fleet counters across resize and restore.
+	Metrics *telemetry.Registry
+	// QueryLogSize caps the stl_query ring buffer (default 1024).
+	QueryLogSize int
 }
 
 // Database is one warehouse cluster's SQL engine.
@@ -49,6 +56,13 @@ type Database struct {
 	cl  *cluster.Cluster
 	txm *txn.Manager
 	wlm *WLM
+
+	// metrics is the telemetry registry every layer emits into; qlog is
+	// the ring buffer behind stl_query; sliceStats (one per slice) backs
+	// stv_slice_stats.
+	metrics    *telemetry.Registry
+	qlog       *telemetry.QueryLog
+	sliceStats []sliceStat
 
 	// ddlMu serializes DDL and utility statements.
 	ddlMu sync.Mutex
@@ -94,23 +108,49 @@ type Result struct {
 	Stats   ExecStats
 }
 
+// sliceStat is one slice's cumulative scan accounting, updated by every
+// query's scan phase and surfaced through stv_slice_stats.
+type sliceStat struct {
+	scans         atomic.Int64
+	blocksRead    atomic.Int64
+	blocksSkipped atomic.Int64
+	rowsRead      atomic.Int64
+	bytesRead     atomic.Int64
+}
+
 // Open builds an empty database on a fresh cluster.
 func Open(cfg Config) (*Database, error) {
 	if cfg.Plan.BroadcastRows == 0 {
 		cfg.Plan = plan.DefaultOptions()
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = telemetry.NewRegistry()
+	}
+	if cfg.QueryLogSize <= 0 {
+		cfg.QueryLogSize = 1024
+	}
 	cl, err := cluster.New(cfg.Cluster)
 	if err != nil {
 		return nil, err
 	}
+	cl.SetMetrics(cfg.Metrics)
 	return &Database{
-		cfg: cfg,
-		cat: catalog.New(),
-		cl:  cl,
-		txm: txn.NewManager(),
-		wlm: NewWLM(cfg.QuerySlots),
+		cfg:        cfg,
+		cat:        catalog.New(),
+		cl:         cl,
+		txm:        txn.NewManager(),
+		wlm:        NewWLM(cfg.QuerySlots, cfg.Metrics),
+		metrics:    cfg.Metrics,
+		qlog:       telemetry.NewQueryLog(cfg.QueryLogSize),
+		sliceStats: make([]sliceStat, cl.NumSlices()),
 	}, nil
 }
+
+// Telemetry exposes the database's metrics registry.
+func (db *Database) Telemetry() *telemetry.Registry { return db.metrics }
+
+// QueryLog exposes the completed-query ring buffer behind stl_query.
+func (db *Database) QueryLog() *telemetry.QueryLog { return db.qlog }
 
 // Catalog exposes the system catalog (admin tooling, backup).
 func (db *Database) Catalog() *catalog.Catalog { return db.cat }
@@ -710,12 +750,38 @@ func (db *Database) runExplain(s *sql.Explain) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: EXPLAIN supports SELECT only")
 	}
+	if s.Analyze {
+		return db.runExplainAnalyze(sel)
+	}
 	p, err := plan.BuildWith(db.cat, sel, db.cfg.Plan)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{Schema: types.NewSchema(types.Column{Name: "QUERY PLAN", Type: types.String})}
 	for _, line := range strings.Split(strings.TrimRight(p.Explain(), "\n"), "\n") {
+		res.Rows = append(res.Rows, types.Row{types.NewString(line)})
+	}
+	return res, nil
+}
+
+// runExplainAnalyze executes the query and renders its span tree with
+// actual times, rows, bytes and block counts.
+func (db *Database) runExplainAnalyze(sel *sql.Select) (*Result, error) {
+	if sel.From == nil {
+		return nil, fmt.Errorf("core: EXPLAIN ANALYZE needs a FROM table")
+	}
+	if isSystemTable(sel.From.Table) {
+		return nil, fmt.Errorf("core: EXPLAIN ANALYZE does not cover system tables")
+	}
+	run, trace, err := db.runSelectTraced(sel)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Schema: types.NewSchema(types.Column{Name: "QUERY PLAN", Type: types.String}),
+		Stats:  run.Stats,
+	}
+	for _, line := range strings.Split(strings.TrimRight(trace.Render(), "\n"), "\n") {
 		res.Rows = append(res.Rows, types.Row{types.NewString(line)})
 	}
 	return res, nil

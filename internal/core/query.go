@@ -7,9 +7,11 @@ import (
 	"time"
 
 	"redshift/internal/catalog"
+	"redshift/internal/cluster"
 	"redshift/internal/exec"
 	"redshift/internal/plan"
 	"redshift/internal/sql"
+	"redshift/internal/telemetry"
 	"redshift/internal/types"
 )
 
@@ -20,14 +22,32 @@ func (db *Database) runSelect(s *sql.Select) (*Result, error) {
 	if s.From == nil {
 		return db.runLeaderSelect(s)
 	}
+	if isSystemTable(s.From.Table) {
+		return db.runSystemSelect(s)
+	}
+	res, _, err := db.runSelectTraced(s)
+	return res, err
+}
+
+// runSelectTraced executes a data-plane SELECT and returns the result with
+// its span tree. Every run — including failed ones — is appended to the
+// query log and counted in the metrics registry.
+func (db *Database) runSelectTraced(s *sql.Select) (*Result, *telemetry.Span, error) {
+	start := time.Now()
+	trace := telemetry.StartSpan("query")
 	queueWait := db.wlm.Acquire()
 	defer db.wlm.Release()
+
+	planSpan := trace.StartChild("plan")
 	planStart := time.Now()
 	p, err := plan.BuildWith(db.cat, s, db.cfg.Plan)
-	if err != nil {
-		return nil, err
-	}
 	planTime := time.Since(planStart)
+	planSpan.End()
+	if err != nil {
+		trace.End()
+		db.recordQuery(s, start, queueWait, planTime, 0, nil, trace, err)
+		return nil, trace, err
+	}
 
 	q := &queryRun{
 		db:       db,
@@ -35,12 +55,16 @@ func (db *Database) runSelect(s *sql.Select) (*Result, error) {
 		mode:     db.cfg.Mode,
 		snapshot: db.txm.CurrentXid(),
 		scans:    &exec.ScanStats{},
+		trace:    trace,
 	}
 	netBefore := db.cl.NetBytes()
 	execStart := time.Now()
 	final, err := q.execute()
+	execTime := time.Since(execStart)
+	trace.End()
 	if err != nil {
-		return nil, err
+		db.recordQuery(s, start, queueWait, planTime, execTime, nil, trace, err)
+		return nil, trace, err
 	}
 	res := &Result{
 		Schema: p.Schema(),
@@ -51,13 +75,52 @@ func (db *Database) runSelect(s *sql.Select) (*Result, error) {
 			NetBytes:      db.cl.NetBytes() - netBefore,
 			PlanTime:      planTime,
 			QueueWait:     queueWait,
-			ExecTime:      time.Since(execStart),
+			ExecTime:      execTime,
 		},
 	}
 	for i := 0; i < final.N; i++ {
 		res.Rows = append(res.Rows, final.Row(i))
 	}
-	return res, nil
+	db.recordQuery(s, start, queueWait, planTime, execTime, res, trace, nil)
+	return res, trace, nil
+}
+
+// recordQuery appends one finished SELECT to the query log and emits its
+// counters into the registry.
+func (db *Database) recordQuery(s *sql.Select, start time.Time, queueWait, planTime, execTime time.Duration, res *Result, trace *telemetry.Span, runErr error) {
+	rec := telemetry.QueryRecord{
+		SQL:       s.String(),
+		Start:     start,
+		End:       time.Now(),
+		QueueWait: queueWait,
+		PlanTime:  planTime,
+		ExecTime:  execTime,
+		Trace:     trace,
+	}
+	if res != nil {
+		rec.Rows = int64(len(res.Rows))
+		rec.BlocksRead = res.Stats.BlocksRead
+		rec.BlocksSkipped = res.Stats.BlocksSkipped
+		rec.RowsScanned = res.Stats.RowsScanned
+		rec.NetBytes = res.Stats.NetBytes
+	}
+	if runErr != nil {
+		rec.Error = runErr.Error()
+	}
+	db.qlog.Append(rec)
+
+	m := db.metrics
+	m.Counter("query_total").Inc()
+	if runErr != nil {
+		m.Counter("query_errors_total").Inc()
+		return
+	}
+	m.Counter("query_blocks_read_total").Add(rec.BlocksRead)
+	m.Counter("query_blocks_skipped_total").Add(rec.BlocksSkipped)
+	m.Counter("query_rows_scanned_total").Add(rec.RowsScanned)
+	m.Histogram("query_seconds").Observe(time.Since(start).Seconds())
+	m.Histogram("query_plan_seconds").Observe(planTime.Seconds())
+	m.Histogram("query_queue_seconds").Observe(queueWait.Seconds())
 }
 
 // runLeaderSelect evaluates a FROM-less SELECT entirely at the leader —
@@ -100,40 +163,61 @@ type queryRun struct {
 	mode     exec.Mode
 	snapshot int64
 	scans    *exec.ScanStats
+	// trace is the query's span tree root; nil disables tracing (all span
+	// methods are nil-safe).
+	trace *telemetry.Span
+	// sys, when set, resolves scans from materialized in-memory rows: the
+	// system-table path, which runs leader-only on one "slice".
+	sys map[*catalog.TableDef][]types.Row
+}
+
+// numSlices returns the execution width: every slice for data-plane
+// queries, a single leader slice for system-table queries.
+func (q *queryRun) numSlices() int {
+	if q.sys != nil {
+		return 1
+	}
+	return q.db.cl.NumSlices()
 }
 
 // execute runs the distributed pipeline and returns the final batch.
 func (q *queryRun) execute() (*exec.Batch, error) {
-	nslices := q.db.cl.NumSlices()
+	nslices := q.numSlices()
 
 	// Stage 1: scan the base table on every slice. A DISTSTYLE ALL base
 	// table is duplicated per node, so only the first node's slices scan it
 	// (reading every copy would multiply the rows).
 	base := q.p.Tables[0]
 	spn := q.db.cl.Config().SlicesPerNode
+	scanSpan := q.trace.StartChild("scan " + base.Def.Name)
 	left, err := q.parallelSlices(nslices, func(sl int) ([]*exec.Batch, error) {
-		if base.Def.DistStyle == catalog.DistAll && sl >= spn {
+		if q.sys == nil && base.Def.DistStyle == catalog.DistAll && sl >= spn {
 			return nil, nil
 		}
-		return q.scanTable(sl, base)
+		return q.scanTable(sl, base, scanSpan)
 	})
+	scanSpan.End()
 	if err != nil {
 		return nil, err
 	}
 
 	// Stage 2: apply joins left-to-right with planner-chosen movement.
 	for _, step := range q.p.Joins {
+		right := q.p.Tables[step.Right]
+		joinSpan := q.trace.StartChild(fmt.Sprintf("join %s [%s]", right.Def.Name, step.Strategy))
 		if step.Strategy == plan.StrategyShuffle {
-			left, err = q.exchange(left, step.LeftKeys)
+			left, err = q.exchange(left, step.LeftKeys, joinSpan, "shuffle left")
 			if err != nil {
+				joinSpan.End()
 				return nil, err
 			}
 		}
-		builds, err := q.buildSides(step)
+		builds, err := q.buildSides(step, joinSpan)
 		if err != nil {
+			joinSpan.End()
 			return nil, err
 		}
-		rightWidth := len(q.p.Tables[step.Right].Def.Columns)
+		rightWidth := len(right.Def.Columns)
 		step := step
 		left, err = q.parallelSlices(nslices, func(sl int) ([]*exec.Batch, error) {
 			join, err := exec.NewHashJoin(q.mode, step, rightWidth)
@@ -157,6 +241,8 @@ func (q *queryRun) execute() (*exec.Batch, error) {
 			}
 			return out, nil
 		})
+		joinSpan.Add("rows", countRows(left))
+		joinSpan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -165,6 +251,7 @@ func (q *queryRun) execute() (*exec.Batch, error) {
 	// Stage 3: residual WHERE.
 	if q.p.Where != nil {
 		where := q.p.Where
+		filterSpan := q.trace.StartChild("filter")
 		var err error
 		left, err = q.parallelSlices(nslices, func(sl int) ([]*exec.Batch, error) {
 			f, err := exec.NewFilter(q.mode, where)
@@ -183,6 +270,8 @@ func (q *queryRun) execute() (*exec.Batch, error) {
 			}
 			return out, nil
 		})
+		filterSpan.Add("rows", countRows(left))
+		filterSpan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -194,10 +283,30 @@ func (q *queryRun) execute() (*exec.Batch, error) {
 	return q.project(left)
 }
 
+// account records cross-node traffic for data-plane queries; system-table
+// queries run leader-only, so their batch movement is not network traffic.
+func (q *queryRun) account(fromNode, toNode int, bytes int64, kind cluster.TransferKind) {
+	if q.sys == nil {
+		q.db.cl.AccountTransfer(fromNode, toNode, bytes, kind)
+	}
+}
+
+// countRows sums batch rows across all slices (for span attributes).
+func countRows(parts [][]*exec.Batch) int64 {
+	var n int64
+	for _, bs := range parts {
+		for _, b := range bs {
+			n += int64(b.N)
+		}
+	}
+	return n
+}
+
 // aggregate runs the two-phase aggregation: partial per slice, merge and
 // finalize at the leader.
 func (q *queryRun) aggregate(left [][]*exec.Batch) (*exec.Batch, error) {
-	nslices := q.db.cl.NumSlices()
+	nslices := q.numSlices()
+	aggSpan := q.trace.StartChild("partial-agg")
 	tables := make([]*exec.GroupTable, nslices)
 	var wg sync.WaitGroup
 	errs := make([]error, nslices)
@@ -205,6 +314,8 @@ func (q *queryRun) aggregate(left [][]*exec.Batch) (*exec.Batch, error) {
 		wg.Add(1)
 		go func(sl int) {
 			defer wg.Done()
+			sliceSpan := aggSpan.StartChild(fmt.Sprintf("slice %d", sl))
+			defer sliceSpan.End()
 			gt, err := exec.NewGroupTable(q.mode, q.p.GroupBy, q.p.Aggs)
 			if err != nil {
 				errs[sl] = err
@@ -217,9 +328,11 @@ func (q *queryRun) aggregate(left [][]*exec.Batch) (*exec.Batch, error) {
 				}
 			}
 			tables[sl] = gt
+			sliceSpan.Add("groups", int64(gt.NumGroups()))
 		}(sl)
 	}
 	wg.Wait()
+	aggSpan.End()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -227,11 +340,16 @@ func (q *queryRun) aggregate(left [][]*exec.Batch) (*exec.Batch, error) {
 	}
 	// Leader merge. Partial-state shipping is accounted approximately:
 	// each slice sends its group count × a state-size estimate.
+	mergeSpan := q.trace.StartChild("leader-merge")
 	leader := tables[0]
 	for sl := 1; sl < nslices; sl++ {
-		q.db.cl.AccountTransfer(q.db.cl.Slice(sl).Node.ID, -1, int64(tables[sl].NumGroups())*64)
+		shipped := int64(tables[sl].NumGroups()) * 64
+		q.account(q.db.cl.Slice(sl).Node.ID, -1, shipped, cluster.TransferGather)
+		mergeSpan.Add("bytes", shipped)
 		leader.Merge(tables[sl])
 	}
+	mergeSpan.Add("groups", int64(leader.NumGroups()))
+	mergeSpan.End()
 	aggBatch, err := leader.Result()
 	if err != nil {
 		return nil, err
@@ -259,8 +377,9 @@ func (q *queryRun) aggregate(left [][]*exec.Batch) (*exec.Batch, error) {
 // project handles the non-aggregating tail: slice-side projection (plus
 // partial distinct / top-N when profitable), leader merge.
 func (q *queryRun) project(left [][]*exec.Batch) (*exec.Batch, error) {
-	nslices := q.db.cl.NumSlices()
+	nslices := q.numSlices()
 	sliceTopN := len(q.p.OrderBy) > 0 && q.p.Limit >= 0 && !q.p.Distinct
+	projSpan := q.trace.StartChild("project")
 	projected, err := q.parallelSlices(nslices, func(sl int) ([]*exec.Batch, error) {
 		proj, err := exec.NewProjector(q.mode, q.p.Project)
 		if err != nil {
@@ -285,20 +404,24 @@ func (q *queryRun) project(left [][]*exec.Batch) (*exec.Batch, error) {
 		}
 		return []*exec.Batch{merged}, nil
 	})
+	projSpan.End()
 	if err != nil {
 		return nil, err
 	}
 	// Ship per-slice results to the leader.
+	mergeSpan := q.trace.StartChild("leader-merge")
 	var perSlice []*exec.Batch
 	for sl, bs := range projected {
 		b := bs[0]
-		q.db.cl.AccountTransfer(q.db.cl.Slice(sl).Node.ID, -1, b.ByteSize())
+		q.account(q.db.cl.Slice(sl).Node.ID, -1, b.ByteSize(), cluster.TransferGather)
+		mergeSpan.Add("bytes", b.ByteSize())
 		perSlice = append(perSlice, b)
 	}
 	var out *exec.Batch
 	if sliceTopN {
 		out, err = exec.MergeSorted(perSlice, q.p.OrderBy)
 		if err != nil {
+			mergeSpan.End()
 			return nil, err
 		}
 	} else {
@@ -308,15 +431,20 @@ func (q *queryRun) project(left [][]*exec.Batch) (*exec.Batch, error) {
 				continue
 			}
 			if err := out.Concat(b); err != nil {
+				mergeSpan.End()
 				return nil, err
 			}
 		}
 	}
+	mergeSpan.Add("rows", int64(out.N))
+	mergeSpan.End()
 	return q.finalize(out)
 }
 
 // finalize applies DISTINCT, ORDER BY and LIMIT at the leader.
 func (q *queryRun) finalize(b *exec.Batch) (*exec.Batch, error) {
+	span := q.trace.StartChild("finalize")
+	defer span.End()
 	if q.p.Distinct {
 		b = exec.Distinct(b)
 	}
@@ -324,13 +452,22 @@ func (q *queryRun) finalize(b *exec.Batch) (*exec.Batch, error) {
 		b = exec.SortBatch(b, q.p.OrderBy)
 	}
 	b = exec.TopN(b, q.p.Limit)
+	span.Add("rows", int64(b.N))
 	return b, nil
 }
 
 // scanTable reads one table's visible segments on one slice, applying the
-// pushed filter and zone-map pruning.
-func (q *queryRun) scanTable(sl int, scan *plan.TableScan) ([]*exec.Batch, error) {
-	scanner, err := exec.NewScanner(q.mode, scan, q.db.cl.FetchBlock, q.scans)
+// pushed filter and zone-map pruning. Each call gets a per-slice child span
+// under parent and folds its counters into the query totals and the slice's
+// cumulative stv_slice_stats counters.
+func (q *queryRun) scanTable(sl int, scan *plan.TableScan, parent *telemetry.Span) ([]*exec.Batch, error) {
+	if q.sys != nil {
+		return q.scanSystem(sl, scan, parent)
+	}
+	span := parent.StartChild(fmt.Sprintf("slice %d", sl))
+	defer span.End()
+	local := &exec.ScanStats{}
+	scanner, err := exec.NewScanner(q.mode, scan, q.db.cl.FetchBlock, local)
 	if err != nil {
 		return nil, err
 	}
@@ -344,50 +481,121 @@ func (q *queryRun) scanTable(sl int, scan *plan.TableScan) ([]*exec.Batch, error
 			return nil, err
 		}
 	}
+	q.finishScan(sl, local, span, parent)
 	return out, nil
 }
 
+// finishScan merges one scan call's local counters into the query-wide
+// stats, the slice's cumulative counters, its span, and the parent span's
+// rollup.
+func (q *queryRun) finishScan(sl int, local *exec.ScanStats, span, parent *telemetry.Span) {
+	br := local.BlocksRead.Load()
+	bs := local.BlocksSkipped.Load()
+	rr := local.RowsRead.Load()
+	by := local.BytesRead.Load()
+	q.scans.BlocksRead.Add(br)
+	q.scans.BlocksSkipped.Add(bs)
+	q.scans.RowsRead.Add(rr)
+	q.scans.RowsEmitted.Add(local.RowsEmitted.Load())
+	q.scans.PageFaults.Add(local.PageFaults.Load())
+	q.scans.BytesRead.Add(by)
+
+	st := &q.db.sliceStats[sl]
+	st.scans.Add(1)
+	st.blocksRead.Add(br)
+	st.blocksSkipped.Add(bs)
+	st.rowsRead.Add(rr)
+	st.bytesRead.Add(by)
+
+	span.Add("rows", rr)
+	span.Add("blocks_read", br)
+	span.Add("blocks_skipped", bs)
+	span.Add("bytes", by)
+	parent.Add("rows", rr)
+	parent.Add("blocks_read", br)
+	parent.Add("blocks_skipped", bs)
+	parent.Add("bytes", by)
+}
+
+// scanSystem materializes a system table's rows (leader slice only) and
+// applies the pushed-down filter.
+func (q *queryRun) scanSystem(sl int, scan *plan.TableScan, parent *telemetry.Span) ([]*exec.Batch, error) {
+	if sl != 0 {
+		return nil, nil
+	}
+	span := parent.StartChild("leader")
+	defer span.End()
+	schema := make([]types.Type, len(scan.Def.Columns))
+	for i, c := range scan.Def.Columns {
+		schema[i] = c.Type
+	}
+	b := exec.FromRows(schema, q.sys[scan.Def])
+	f, err := exec.NewFilter(q.mode, scan.Filter)
+	if err != nil {
+		return nil, err
+	}
+	if b, err = f.Apply(b); err != nil {
+		return nil, err
+	}
+	span.Add("rows", int64(b.N))
+	if b.N == 0 {
+		return nil, nil
+	}
+	return []*exec.Batch{b}, nil
+}
+
 // buildSides materializes the join build input for every slice according
-// to the strategy.
-func (q *queryRun) buildSides(step plan.JoinStep) ([][]*exec.Batch, error) {
-	nslices := q.db.cl.NumSlices()
+// to the strategy, recording movement under the join's span.
+func (q *queryRun) buildSides(step plan.JoinStep, joinSpan *telemetry.Span) ([][]*exec.Batch, error) {
+	nslices := q.numSlices()
 	right := q.p.Tables[step.Right]
 
 	switch step.Strategy {
 	case plan.StrategyCollocated:
 		// Each slice joins its local shard: zero movement.
+		scanSpan := joinSpan.StartChild("scan " + right.Def.Name)
+		defer scanSpan.End()
 		return q.parallelSlices(nslices, func(sl int) ([]*exec.Batch, error) {
-			return q.scanTable(sl, right)
+			return q.scanTable(sl, right, scanSpan)
 		})
 
 	case plan.StrategyBroadcast:
 		if right.Def.DistStyle == catalog.DistAll {
 			// The table is already duplicated per node; every slice reads
 			// its node's copy locally.
+			scanSpan := joinSpan.StartChild("scan " + right.Def.Name)
+			defer scanSpan.End()
 			spn := q.db.cl.Config().SlicesPerNode
 			return q.parallelSlices(nslices, func(sl int) ([]*exec.Batch, error) {
 				home := (sl / spn) * spn
-				return q.scanTable(home, right)
+				return q.scanTable(home, right, scanSpan)
 			})
 		}
 		// Gather the full table at the leader, then broadcast to every
 		// node — and account both movements.
+		scanSpan := joinSpan.StartChild("scan " + right.Def.Name)
 		var gathered []*exec.Batch
 		var gatherBytes int64
 		for sl := 0; sl < nslices; sl++ {
-			batches, err := q.scanTable(sl, right)
+			batches, err := q.scanTable(sl, right, scanSpan)
 			if err != nil {
+				scanSpan.End()
 				return nil, err
 			}
 			for _, b := range batches {
-				q.db.cl.AccountTransfer(q.db.cl.Slice(sl).Node.ID, -1, b.ByteSize())
+				q.account(q.db.cl.Slice(sl).Node.ID, -1, b.ByteSize(), cluster.TransferBroadcast)
 				gatherBytes += b.ByteSize()
 				gathered = append(gathered, b)
 			}
 		}
+		scanSpan.End()
+		bcastSpan := joinSpan.StartChild("broadcast")
 		for n := 0; n < q.db.cl.NumNodes(); n++ {
-			q.db.cl.AccountTransfer(-1, n, gatherBytes)
+			q.account(-1, n, gatherBytes, cluster.TransferBroadcast)
+			bcastSpan.Add("bytes", gatherBytes)
 		}
+		bcastSpan.Add("rows", countRows([][]*exec.Batch{gathered}))
+		bcastSpan.End()
 		out := make([][]*exec.Batch, nslices)
 		for sl := range out {
 			out[sl] = gathered
@@ -396,13 +604,15 @@ func (q *queryRun) buildSides(step plan.JoinStep) ([][]*exec.Batch, error) {
 
 	case plan.StrategyShuffle:
 		// Scan the inner side everywhere and repartition it by join key.
+		scanSpan := joinSpan.StartChild("scan " + right.Def.Name)
 		scanned, err := q.parallelSlices(nslices, func(sl int) ([]*exec.Batch, error) {
-			return q.scanTable(sl, right)
+			return q.scanTable(sl, right, scanSpan)
 		})
+		scanSpan.End()
 		if err != nil {
 			return nil, err
 		}
-		return q.exchange(scanned, step.RightKeys)
+		return q.exchange(scanned, step.RightKeys, joinSpan, "shuffle "+right.Def.Name)
 
 	default:
 		return nil, fmt.Errorf("core: unknown join strategy %v", step.Strategy)
@@ -411,9 +621,11 @@ func (q *queryRun) buildSides(step plan.JoinStep) ([][]*exec.Batch, error) {
 
 // exchange repartitions per-slice batch streams by the hash of the key
 // expressions — the redistribution step of a shuffle join — accounting
-// every byte that crosses a node boundary.
-func (q *queryRun) exchange(in [][]*exec.Batch, keys []plan.Expr) ([][]*exec.Batch, error) {
-	nslices := q.db.cl.NumSlices()
+// every byte that crosses a node boundary under a child span of parent.
+func (q *queryRun) exchange(in [][]*exec.Batch, keys []plan.Expr, parent *telemetry.Span, name string) ([][]*exec.Batch, error) {
+	span := parent.StartChild(name)
+	defer span.End()
+	nslices := q.numSlices()
 	// buckets[src][dst] accumulates rows moving src → dst.
 	buckets := make([][]*exec.Batch, nslices)
 	_, err := q.parallelSlices(nslices, func(src int) ([]*exec.Batch, error) {
@@ -468,7 +680,13 @@ func (q *queryRun) exchange(in [][]*exec.Batch, keys []plan.Expr) ([][]*exec.Bat
 			if b == nil || b.N == 0 {
 				continue
 			}
-			q.db.cl.AccountTransfer(q.db.cl.Slice(src).Node.ID, q.db.cl.Slice(dst).Node.ID, b.ByteSize())
+			srcNode := q.db.cl.Slice(src).Node.ID
+			dstNode := q.db.cl.Slice(dst).Node.ID
+			q.account(srcNode, dstNode, b.ByteSize(), cluster.TransferShuffle)
+			span.Add("rows", int64(b.N))
+			if srcNode != dstNode {
+				span.Add("bytes", b.ByteSize())
+			}
 			out[dst] = append(out[dst], b)
 		}
 	}

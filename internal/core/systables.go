@@ -1,0 +1,150 @@
+package core
+
+import (
+	"strings"
+
+	"redshift/internal/catalog"
+	"redshift/internal/compress"
+	"redshift/internal/exec"
+	"redshift/internal/plan"
+	"redshift/internal/sql"
+	"redshift/internal/types"
+)
+
+// System tables are Redshift's stl_ (log) and stv_ (snapshot) views: they
+// answer "what has this cluster been doing" with the same SQL surface as
+// user tables, but execute entirely at the leader against materialized
+// in-memory rows. They live in a transient per-query catalog, never in the
+// user catalog, so ANALYZE/VACUUM/resize/backup sweeps don't see them.
+
+// systemTable pairs a table definition with its row materializer.
+type systemTable struct {
+	name string
+	cols []catalog.ColumnDef
+	rows func(db *Database) []types.Row
+}
+
+var systemTables = []systemTable{
+	{
+		name: "stl_query",
+		cols: []catalog.ColumnDef{
+			{Name: "query", Type: types.Int64},
+			{Name: "querytxt", Type: types.String},
+			{Name: "starttime", Type: types.Timestamp},
+			{Name: "endtime", Type: types.Timestamp},
+			{Name: "queue_ms", Type: types.Float64},
+			{Name: "plan_ms", Type: types.Float64},
+			{Name: "exec_ms", Type: types.Float64},
+			{Name: "rows", Type: types.Int64},
+			{Name: "blocks_read", Type: types.Int64},
+			{Name: "blocks_skipped", Type: types.Int64},
+			{Name: "net_bytes", Type: types.Int64},
+			{Name: "aborted", Type: types.Int64},
+		},
+		rows: func(db *Database) []types.Row {
+			recs := db.qlog.Records()
+			rows := make([]types.Row, 0, len(recs))
+			for _, r := range recs {
+				aborted := int64(0)
+				if r.Error != "" {
+					aborted = 1
+				}
+				rows = append(rows, types.Row{
+					types.NewInt(r.ID),
+					types.NewString(r.SQL),
+					types.NewTimestamp(r.Start.UnixMicro()),
+					types.NewTimestamp(r.End.UnixMicro()),
+					types.NewFloat(float64(r.QueueWait.Microseconds()) / 1e3),
+					types.NewFloat(float64(r.PlanTime.Microseconds()) / 1e3),
+					types.NewFloat(float64(r.ExecTime.Microseconds()) / 1e3),
+					types.NewInt(r.Rows),
+					types.NewInt(r.BlocksRead),
+					types.NewInt(r.BlocksSkipped),
+					types.NewInt(r.NetBytes),
+					types.NewInt(aborted),
+				})
+			}
+			return rows
+		},
+	},
+	{
+		name: "stv_slice_stats",
+		cols: []catalog.ColumnDef{
+			{Name: "slice", Type: types.Int64},
+			{Name: "node", Type: types.Int64},
+			{Name: "scans", Type: types.Int64},
+			{Name: "blocks_read", Type: types.Int64},
+			{Name: "blocks_skipped", Type: types.Int64},
+			{Name: "rows_read", Type: types.Int64},
+			{Name: "bytes_read", Type: types.Int64},
+		},
+		rows: func(db *Database) []types.Row {
+			rows := make([]types.Row, 0, len(db.sliceStats))
+			for sl := range db.sliceStats {
+				st := &db.sliceStats[sl]
+				rows = append(rows, types.Row{
+					types.NewInt(int64(sl)),
+					types.NewInt(int64(db.cl.Slice(sl).Node.ID)),
+					types.NewInt(st.scans.Load()),
+					types.NewInt(st.blocksRead.Load()),
+					types.NewInt(st.blocksSkipped.Load()),
+					types.NewInt(st.rowsRead.Load()),
+					types.NewInt(st.bytesRead.Load()),
+				})
+			}
+			return rows
+		},
+	},
+}
+
+// isSystemTable reports whether name is a leader-resolved system table.
+func isSystemTable(name string) bool {
+	n := strings.ToLower(name)
+	for _, st := range systemTables {
+		if st.name == n {
+			return true
+		}
+	}
+	return false
+}
+
+// runSystemSelect executes a SELECT over system tables: the full plan and
+// execution pipeline runs, but against a transient catalog of materialized
+// rows, on a single leader "slice". System queries are not themselves
+// logged into stl_query (monitoring shouldn't fill the log it reads).
+func (db *Database) runSystemSelect(s *sql.Select) (*Result, error) {
+	cat := catalog.New()
+	sys := map[*catalog.TableDef][]types.Row{}
+	for _, st := range systemTables {
+		def := &catalog.TableDef{Name: st.name, DistStyle: catalog.DistEven, DistKeyCol: -1}
+		for _, c := range st.cols {
+			c.Encoding = compress.Raw
+			def.Columns = append(def.Columns, c)
+		}
+		if err := cat.Create(def); err != nil {
+			return nil, err
+		}
+		sys[def] = st.rows(db)
+	}
+	p, err := plan.BuildWith(cat, s, db.cfg.Plan)
+	if err != nil {
+		return nil, err
+	}
+	q := &queryRun{
+		db:       db,
+		p:        p,
+		mode:     db.cfg.Mode,
+		snapshot: db.txm.CurrentXid(),
+		scans:    &exec.ScanStats{},
+		sys:      sys,
+	}
+	final, err := q.execute()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Schema: p.Schema()}
+	for i := 0; i < final.N; i++ {
+		res.Rows = append(res.Rows, final.Row(i))
+	}
+	return res, nil
+}

@@ -3,6 +3,8 @@ package core
 import (
 	"sync"
 	"time"
+
+	"redshift/internal/telemetry"
 )
 
 // WLM is the workload manager: a fixed number of query slots with a FIFO
@@ -19,15 +21,30 @@ type WLM struct {
 	peakQueued int
 	totalRun   int64
 	totalWait  time.Duration
+
+	// Registry mirrors of the counters above (pre-resolved at construction).
+	mActive  *telemetry.Gauge
+	mQueued  *telemetry.Gauge
+	mWait    *telemetry.Histogram
+	mQueries *telemetry.Counter
 }
 
 // NewWLM builds a manager with the given concurrency (Redshift's default
-// queue has 5 slots). n <= 0 disables queuing.
-func NewWLM(n int) *WLM {
-	if n <= 0 {
-		return &WLM{}
+// queue has 5 slots). n <= 0 disables queuing. When reg is non-nil the
+// manager emits wlm_active / wlm_queued gauges, a wlm_queue_wait_seconds
+// histogram and a wlm_queries_total counter into it.
+func NewWLM(n int, reg *telemetry.Registry) *WLM {
+	w := &WLM{}
+	if n > 0 {
+		w.slots = make(chan struct{}, n)
 	}
-	return &WLM{slots: make(chan struct{}, n)}
+	if reg != nil {
+		w.mActive = reg.Gauge("wlm_active")
+		w.mQueued = reg.Gauge("wlm_queued")
+		w.mWait = reg.Histogram("wlm_queue_wait_seconds")
+		w.mQueries = reg.Counter("wlm_queries_total")
+	}
+	return w
 }
 
 // Acquire blocks until a slot is free and returns the time spent queued.
@@ -43,6 +60,9 @@ func (w *WLM) Acquire() time.Duration {
 	if w.queued > w.peakQueued {
 		w.peakQueued = w.queued
 	}
+	if w.mQueued != nil {
+		w.mQueued.Set(int64(w.queued))
+	}
 	w.mu.Unlock()
 
 	start := time.Now()
@@ -52,6 +72,12 @@ func (w *WLM) Acquire() time.Duration {
 	w.mu.Lock()
 	w.queued--
 	w.totalWait += wait
+	if w.mQueued != nil {
+		w.mQueued.Set(int64(w.queued))
+	}
+	if w.mWait != nil {
+		w.mWait.Observe(wait.Seconds())
+	}
 	w.admitLocked()
 	w.mu.Unlock()
 	return wait
@@ -63,12 +89,21 @@ func (w *WLM) admitLocked() {
 	if w.active > w.peakActive {
 		w.peakActive = w.active
 	}
+	if w.mActive != nil {
+		w.mActive.Set(int64(w.active))
+	}
+	if w.mQueries != nil {
+		w.mQueries.Inc()
+	}
 }
 
 // Release frees the slot.
 func (w *WLM) Release() {
 	w.mu.Lock()
 	w.active--
+	if w.mActive != nil {
+		w.mActive.Set(int64(w.active))
+	}
 	w.mu.Unlock()
 	if w.slots != nil {
 		<-w.slots

@@ -30,8 +30,15 @@ func dateTrunc(unit string, v types.Value) (types.Value, error) {
 	switch unit {
 	case "year":
 		out = time.Date(tm.Year(), 1, 1, 0, 0, 0, 0, time.UTC)
+	case "quarter":
+		qm := time.Month((int(tm.Month())-1)/3*3 + 1)
+		out = time.Date(tm.Year(), qm, 1, 0, 0, 0, 0, time.UTC)
 	case "month":
 		out = time.Date(tm.Year(), tm.Month(), 1, 0, 0, 0, 0, time.UTC)
+	case "week":
+		// ISO week: Monday start. Weekday() has Sunday=0, so shift by 6.
+		wd := (int(tm.Weekday()) + 6) % 7
+		out = time.Date(tm.Year(), tm.Month(), tm.Day()-wd, 0, 0, 0, 0, time.UTC)
 	case "day":
 		out = time.Date(tm.Year(), tm.Month(), tm.Day(), 0, 0, 0, 0, time.UTC)
 	case "hour":

@@ -1,0 +1,82 @@
+package exec
+
+import (
+	"testing"
+	"time"
+
+	"redshift/internal/types"
+)
+
+// trunc runs dateTrunc on a parsed DATE and formats the result.
+func trunc(t *testing.T, unit, date string) string {
+	t.Helper()
+	v, err := types.ParseDate(date)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := dateTrunc(unit, v)
+	if err != nil {
+		t.Fatalf("date_trunc(%q, %s): %v", unit, date, err)
+	}
+	if out.T != types.Date {
+		t.Fatalf("date_trunc(%q) changed type to %v", unit, out.T)
+	}
+	return toTime(out).Format("2006-01-02")
+}
+
+func TestDateTruncWeek(t *testing.T) {
+	// Regression: week was rejected with "bad unit". ISO weeks start Monday.
+	cases := map[string]string{
+		"2026-01-01": "2025-12-29", // Thursday → previous year's Monday
+		"2025-12-29": "2025-12-29", // Monday truncates to itself
+		"2026-01-04": "2025-12-29", // Sunday belongs to the Monday-start week
+		"2026-01-05": "2026-01-05", // next Monday
+		"2024-03-01": "2024-02-26", // leap year, month boundary
+	}
+	for in, want := range cases {
+		if got := trunc(t, "week", in); got != want {
+			t.Errorf("date_trunc('week', %s) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestDateTruncQuarter(t *testing.T) {
+	// Regression: quarter was rejected with "bad unit".
+	cases := map[string]string{
+		"2025-11-15": "2025-10-01",
+		"2026-01-01": "2026-01-01",
+		"2026-02-20": "2026-01-01",
+		"2026-06-30": "2026-04-01",
+		"2025-12-31": "2025-10-01",
+	}
+	for in, want := range cases {
+		if got := trunc(t, "quarter", in); got != want {
+			t.Errorf("date_trunc('quarter', %s) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestDateTruncWeekTimestamp(t *testing.T) {
+	v, err := types.ParseTimestamp("2026-01-01 13:45:07")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := dateTrunc("week", v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.T != types.Timestamp {
+		t.Fatalf("type = %v", out.T)
+	}
+	want := time.Date(2025, 12, 29, 0, 0, 0, 0, time.UTC)
+	if got := toTime(out); !got.Equal(want) {
+		t.Errorf("week of timestamp = %s, want %s", got, want)
+	}
+}
+
+func TestDateTruncBadUnitStillRejected(t *testing.T) {
+	v, _ := types.ParseDate("2026-01-01")
+	if _, err := dateTrunc("fortnight", v); err == nil {
+		t.Error("bad unit accepted")
+	}
+}

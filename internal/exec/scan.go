@@ -23,6 +23,8 @@ type ScanStats struct {
 	RowsRead      atomic.Int64
 	RowsEmitted   atomic.Int64
 	PageFaults    atomic.Int64
+	// BytesRead is the compressed on-disk size of the blocks decoded.
+	BytesRead atomic.Int64
 }
 
 // Scanner reads one table's segments on one slice: zone-map pruning first,
@@ -80,6 +82,7 @@ func (s *Scanner) ScanSegment(seg *storage.Segment, emit func(*Batch) error) err
 			batch.Cols[c] = v
 			batch.N = v.Len()
 			s.stats.BlocksRead.Add(1)
+			s.stats.BytesRead.Add(blk.ByteSize())
 		}
 		s.stats.RowsRead.Add(int64(batch.N))
 		out, err := s.filter.Apply(batch)

@@ -464,7 +464,7 @@ func scalarCallType(c *Call) (types.Type, error) {
 			return 0, errf("DATE_TRUNC requires a unit literal")
 		}
 		switch strings.ToLower(cst.V.S) {
-		case "year", "month", "day", "hour", "minute":
+		case "year", "quarter", "month", "week", "day", "hour", "minute":
 		default:
 			return 0, errf("DATE_TRUNC: unsupported unit %q", cst.V.S)
 		}

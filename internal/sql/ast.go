@@ -259,14 +259,22 @@ func (a *Analyze) String() string {
 	return s
 }
 
-// Explain wraps a SELECT and returns its plan instead of executing it.
+// Explain wraps a SELECT and returns its plan instead of its rows. With
+// Analyze the query also executes, and the plan carries actual times,
+// rows, bytes and block counts.
 type Explain struct {
-	Stmt Statement
+	Stmt    Statement
+	Analyze bool
 }
 
 func (*Explain) stmt() {}
 
-func (e *Explain) String() string { return "EXPLAIN " + e.Stmt.String() }
+func (e *Explain) String() string {
+	if e.Analyze {
+		return "EXPLAIN ANALYZE " + e.Stmt.String()
+	}
+	return "EXPLAIN " + e.Stmt.String()
+}
 
 // Truncate removes all rows from a table.
 type Truncate struct {

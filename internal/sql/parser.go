@@ -135,11 +135,20 @@ func (p *parser) parseStatement() (Statement, error) {
 		}
 		return &Truncate{Table: name.text}, nil
 	case p.accept(tokKeyword, "EXPLAIN"):
+		// EXPLAIN ANALYZE <select> executes the query; a bare ANALYZE after
+		// EXPLAIN would otherwise parse as the stats-collection statement,
+		// so only treat it as the modifier when a statement follows.
+		analyze := false
+		if p.at(tokKeyword, "ANALYZE") && p.pos+1 < len(p.toks) &&
+			p.toks[p.pos+1].kind == tokKeyword && p.toks[p.pos+1].text == "SELECT" {
+			p.next()
+			analyze = true
+		}
 		inner, err := p.parseStatement()
 		if err != nil {
 			return nil, err
 		}
-		return &Explain{Stmt: inner}, nil
+		return &Explain{Stmt: inner, Analyze: analyze}, nil
 	default:
 		return nil, p.errorf("expected a statement, found %q", p.peek().text)
 	}

@@ -250,8 +250,33 @@ func TestParseAdminStatements(t *testing.T) {
 		t.Errorf("TRUNCATE = %+v", tr)
 	}
 	e := reparse(t, `EXPLAIN SELECT * FROM t`).(*Explain)
-	if _, ok := e.Stmt.(*Select); !ok {
+	if _, ok := e.Stmt.(*Select); !ok || e.Analyze {
 		t.Errorf("EXPLAIN = %+v", e)
+	}
+}
+
+func TestParseExplainAnalyze(t *testing.T) {
+	e := reparse(t, `EXPLAIN ANALYZE SELECT a FROM t`).(*Explain)
+	if !e.Analyze {
+		t.Error("ANALYZE modifier not set")
+	}
+	if _, ok := e.Stmt.(*Select); !ok {
+		t.Errorf("inner statement = %T", e.Stmt)
+	}
+	// A bare ANALYZE after EXPLAIN is still the stats statement.
+	ea := reparse(t, `EXPLAIN ANALYZE`).(*Explain)
+	if ea.Analyze {
+		t.Error("EXPLAIN ANALYZE with no query must keep ANALYZE as the statement")
+	}
+	if _, ok := ea.Stmt.(*Analyze); !ok {
+		t.Errorf("inner statement = %T", ea.Stmt)
+	}
+	et := reparse(t, `EXPLAIN ANALYZE t`).(*Explain)
+	if et.Analyze {
+		t.Error("EXPLAIN ANALYZE <table> must keep ANALYZE as the statement")
+	}
+	if a, ok := et.Stmt.(*Analyze); !ok || a.Table != "t" {
+		t.Errorf("inner statement = %+v", et.Stmt)
 	}
 }
 

@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is one named measurement on a span (rows, bytes, blocks_read...).
+// Attrs keep insertion order so rendered spans read consistently.
+type Attr struct {
+	Key   string
+	Value int64
+}
+
+// Span is one timed node of a query's trace tree: plan, per-slice scan,
+// shuffle, partial aggregation, leader merge, finalize. Spans are safe for
+// concurrent child creation and attribute updates (per-slice work runs in
+// parallel goroutines), and every method is nil-receiver safe so untraced
+// code paths pay nothing.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	dur      time.Duration
+	ended    bool
+	attrs    []Attr
+	children []*Span
+}
+
+// StartSpan begins a root span.
+func StartSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// StartChild begins a child span under s. Returns nil when s is nil, so
+// call sites need no tracing checks.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	child := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, child)
+	s.mu.Unlock()
+	return child
+}
+
+// End fixes the span's duration; subsequent Ends are no-ops.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.dur = time.Since(s.start)
+		s.ended = true
+	}
+	s.mu.Unlock()
+}
+
+// Add accumulates delta into the named attribute, creating it at zero.
+func (s *Span) Add(key string, delta int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value += delta
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: delta})
+}
+
+// Name returns the span's label.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the measured wall time (0 until End).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dur
+}
+
+// Attr returns the named attribute's value (0 when absent).
+func (s *Span) Attr(key string) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range s.attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return 0
+}
+
+// Attrs returns a copy of the span's attributes in insertion order.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Attr(nil), s.attrs...)
+}
+
+// Children returns a copy of the child list in creation order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Walk visits the span tree depth-first, parents before children.
+func (s *Span) Walk(fn func(depth int, sp *Span)) {
+	if s == nil {
+		return
+	}
+	s.walk(0, fn)
+}
+
+func (s *Span) walk(depth int, fn func(int, *Span)) {
+	fn(depth, s)
+	for _, c := range s.Children() {
+		c.walk(depth+1, fn)
+	}
+}
+
+// Render returns the span tree as an indented text block, one span per
+// line: `name (duration) key=value ...` — the body of EXPLAIN ANALYZE.
+func (s *Span) Render() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	s.Walk(func(depth int, sp *Span) {
+		b.WriteString(strings.Repeat("  ", depth))
+		fmt.Fprintf(&b, "%s (%s)", sp.Name(), fmtDur(sp.Duration()))
+		for _, a := range sp.Attrs() {
+			fmt.Fprintf(&b, " %s=%d", a.Key, a.Value)
+		}
+		b.WriteByte('\n')
+	})
+	return b.String()
+}
+
+// fmtDur formats a duration at microsecond granularity so trace lines stay
+// compact and stable-width.
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}

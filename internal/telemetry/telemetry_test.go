@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("queries_total")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("queries_total") != c {
+		t.Error("Counter not idempotent")
+	}
+	g := r.Gauge("active")
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 2 {
+		t.Errorf("gauge = %d, want 2", g.Value())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 500500 {
+		t.Errorf("sum = %g", h.Sum())
+	}
+	// Exponential buckets guarantee ~±10% relative error.
+	cases := map[float64]float64{0.5: 500, 0.95: 950, 0.99: 990}
+	for q, want := range cases {
+		got := h.Quantile(q)
+		if math.Abs(got-want)/want > 0.10 {
+			t.Errorf("p%g = %g, want ~%g", q*100, got, want)
+		}
+	}
+	if h.Quantile(0) != 1 {
+		t.Errorf("p0 = %g, want exact min 1", h.Quantile(0))
+	}
+	if h.Quantile(1) != 1000 {
+		t.Errorf("p100 = %g, want exact max 1000", h.Quantile(1))
+	}
+}
+
+func TestHistogramSingleValueIsExact(t *testing.T) {
+	var h Histogram
+	h.Observe(42)
+	// Clamping to [min, max] makes every quantile of one value exact.
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(q); got != 42 {
+			t.Errorf("Quantile(%g) = %g, want 42", q, got)
+		}
+	}
+}
+
+func TestHistogramNonPositiveValues(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-5)
+	h.Observe(10)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Quantile(0.5); got < -5 || got > 10 {
+		t.Errorf("median %g outside observed range", got)
+	}
+	if h.Quantile(0) != -5 {
+		t.Errorf("min = %g", h.Quantile(0))
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestRegistryRender(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(7)
+	r.Gauge("b").Set(-2)
+	r.Histogram("c_seconds").Observe(1.5)
+	out := r.Render()
+	for _, want := range []string{"a_total 7", "b -2", "c_seconds_count 1", "c_seconds_sum 1.5", `c_seconds{quantile="0.5"} 1.5`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestQueryLogRingBuffer(t *testing.T) {
+	l := NewQueryLog(3)
+	for i := 0; i < 5; i++ {
+		id := l.Append(QueryRecord{SQL: "q"})
+		if id != int64(i+1) {
+			t.Errorf("Append #%d returned id %d", i+1, id)
+		}
+	}
+	if l.Len() != 3 {
+		t.Errorf("Len = %d, want 3 (capacity)", l.Len())
+	}
+	if l.Total() != 5 {
+		t.Errorf("Total = %d, want 5", l.Total())
+	}
+	recs := l.Records()
+	if len(recs) != 3 {
+		t.Fatalf("Records = %d", len(recs))
+	}
+	// Oldest-first: ids 3, 4, 5 survive the wrap.
+	for i, want := range []int64{3, 4, 5} {
+		if recs[i].ID != want {
+			t.Errorf("record %d has id %d, want %d", i, recs[i].ID, want)
+		}
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	root := StartSpan("query")
+	scan := root.StartChild("scan t")
+	s0 := scan.StartChild("slice 0")
+	s0.Add("rows", 10)
+	s0.Add("rows", 5)
+	s0.End()
+	scan.End()
+	root.End()
+
+	if s0.Attr("rows") != 15 {
+		t.Errorf("rows = %d, want 15 (accumulated)", s0.Attr("rows"))
+	}
+	if s0.Attr("missing") != 0 {
+		t.Error("absent attr should be 0")
+	}
+	var names []string
+	depths := map[string]int{}
+	root.Walk(func(depth int, sp *Span) {
+		names = append(names, sp.Name())
+		depths[sp.Name()] = depth
+	})
+	if len(names) != 3 || names[0] != "query" || names[1] != "scan t" || names[2] != "slice 0" {
+		t.Errorf("walk order = %v", names)
+	}
+	if depths["slice 0"] != 2 {
+		t.Errorf("slice depth = %d", depths["slice 0"])
+	}
+	out := root.Render()
+	if !strings.Contains(out, "    slice 0 (") || !strings.Contains(out, "rows=15") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	var s *Span
+	child := s.StartChild("x")
+	if child != nil {
+		t.Fatal("nil span produced a child")
+	}
+	child.End()
+	child.Add("rows", 1)
+	if child.Render() != "" || child.Name() != "" || child.Duration() != 0 {
+		t.Error("nil span accessors should be zero-valued")
+	}
+	child.Walk(func(int, *Span) { t.Error("nil span walked") })
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	s := StartSpan("x")
+	time.Sleep(time.Millisecond)
+	s.End()
+	d := s.Duration()
+	if d <= 0 {
+		t.Fatal("duration not recorded")
+	}
+	time.Sleep(time.Millisecond)
+	s.End()
+	if s.Duration() != d {
+		t.Error("second End changed the duration")
+	}
+}

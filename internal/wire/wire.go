@@ -43,6 +43,9 @@ type Stats struct {
 	BlocksSkipped int64 `json:"blocks_skipped"`
 	RowsScanned   int64 `json:"rows_scanned"`
 	NetBytes      int64 `json:"net_bytes"`
+	// QueueMillis is WLM queue wait; PlanMillis is planning time.
+	QueueMillis float64 `json:"queue_ms"`
+	PlanMillis  float64 `json:"plan_ms"`
 }
 
 // Executor runs SQL — the endpoint abstraction lets the server keep serving
@@ -148,6 +151,8 @@ func (s *Server) handle(req Request) *Response {
 		BlocksSkipped: res.Stats.BlocksSkipped,
 		RowsScanned:   res.Stats.RowsScanned,
 		NetBytes:      res.Stats.NetBytes,
+		QueueMillis:   float64(res.Stats.QueueWait.Microseconds()) / 1e3,
+		PlanMillis:    float64(res.Stats.PlanTime.Microseconds()) / 1e3,
 	}
 	return resp
 }

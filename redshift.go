@@ -27,6 +27,7 @@ import (
 	"redshift/internal/kms"
 	"redshift/internal/plan"
 	"redshift/internal/s3sim"
+	"redshift/internal/telemetry"
 	"redshift/internal/types"
 )
 
@@ -75,6 +76,7 @@ type Value = types.Value
 type Warehouse struct {
 	endpoint *controlplane.Endpoint
 	opts     Options
+	metrics  *telemetry.Registry // survives resize/restore cluster swaps
 
 	dataLake *s3sim.Store // COPY sources
 	backupS3 *s3sim.Store // backup region
@@ -100,6 +102,7 @@ func Launch(opts Options) (*Warehouse, error) {
 	}
 	w := &Warehouse{
 		opts:     opts,
+		metrics:  telemetry.NewRegistry(),
 		dataLake: s3sim.New(),
 		backupS3: s3sim.New(),
 	}
@@ -205,11 +208,17 @@ func (w *Warehouse) coreConfig(nodes int) core.Config {
 		Plan:       planOpts,
 		DataStore:  w.dataLake,
 		QuerySlots: w.opts.QuerySlots,
+		Metrics:    w.metrics,
 	}
 }
 
 // DB returns the database currently behind the endpoint.
 func (w *Warehouse) DB() *core.Database { return w.endpoint.DB() }
+
+// Metrics returns the warehouse-wide telemetry registry. It is shared by
+// every database the endpoint has pointed at, so counters survive resize
+// and restore.
+func (w *Warehouse) Metrics() *telemetry.Registry { return w.metrics }
 
 // Execute runs one SQL statement.
 func (w *Warehouse) Execute(query string) (*Result, error) {
@@ -247,6 +256,11 @@ func (w *Warehouse) Backup() (string, backup.Stats, error) {
 	w.nBackups++
 	id := fmt.Sprintf("backup-%03d", w.nBackups)
 	_, stats, err := w.backups.Backup(db.Cluster(), db.Catalog(), db.Txns().CurrentXid(), id)
+	if err == nil {
+		w.metrics.Counter("backup_runs_total").Inc()
+		w.metrics.Counter("backup_blocks_uploaded_total").Add(int64(stats.BlocksUploaded))
+		w.metrics.Counter("backup_bytes_uploaded_total").Add(stats.BytesUploaded)
+	}
 	return id, stats, err
 }
 
