@@ -753,7 +753,17 @@ func (db *Database) runExplain(s *sql.Explain) (*Result, error) {
 	if s.Analyze {
 		return db.runExplainAnalyze(sel)
 	}
-	p, err := plan.BuildWith(db.cat, sel, db.cfg.Plan)
+	// System tables live in a transient catalog, not db.cat; bind EXPLAIN
+	// against the same catalog the query itself would run against.
+	cat := db.cat
+	if sel.From != nil && isSystemTable(sel.From.Table) {
+		sysCat, _, err := db.sysCatalog()
+		if err != nil {
+			return nil, err
+		}
+		cat = sysCat
+	}
+	p, err := plan.BuildWith(cat, sel, db.cfg.Plan)
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"redshift/internal/catalog"
@@ -14,6 +15,11 @@ import (
 	"redshift/internal/telemetry"
 	"redshift/internal/types"
 )
+
+// exchangeBuf is the per-(src,dst) slack of an exchange, in batches. Small
+// on purpose: it is what bounds a query's in-flight memory to
+// O(slices × pipeline depth) instead of O(intermediate result size).
+const exchangeBuf = 2
 
 // runSelect executes a SELECT: plan at the leader, per-slice parallel
 // execution with strategy-appropriate data movement, final merge at the
@@ -169,6 +175,39 @@ type queryRun struct {
 	// sys, when set, resolves scans from materialized in-memory rows: the
 	// system-table path, which runs leader-only on one "slice".
 	sys map[*catalog.TableDef][]types.Row
+
+	// Execution state, built by execute(). stats/scanInsts/exBytes are
+	// indexed/keyed by physical node ID.
+	ph        *plan.Physical
+	flight    *exec.FlightTracker
+	stats     []*exec.OpStats
+	scanInsts [][]scanInstance
+	exs       map[int]*exec.Exchange
+	exBytes   map[int]*atomic.Int64
+	prods     []producer
+	aggTables []*exec.GroupTable
+	aggGroups []int64 // per-slice group counts, snapshotted before the merge
+	// gatherBytes totals the bytes shipped to the leader (merge span attr).
+	gatherBytes atomic.Int64
+}
+
+// scanInstance is one slice's instantiation of a physical scan node; its
+// counters fold into the query totals and stv_slice_stats after the run.
+type scanInstance struct {
+	// slice is the slice whose storage this instance read (for a replicated
+	// build table, the node's home slice — every slice of the node reads the
+	// same local copy, as the old executor did).
+	slice int
+	stats *exec.ScanStats
+}
+
+// producer is one deferred Exchange.Produce call: src's sub-chain routed
+// into an exchange. Producers launch after every chain is built.
+type producer struct {
+	ex    *exec.Exchange
+	src   int
+	op    exec.Operator
+	route exec.RouteFn
 }
 
 // numSlices returns the execution width: every slice for data-plane
@@ -180,351 +219,277 @@ func (q *queryRun) numSlices() int {
 	return q.db.cl.NumSlices()
 }
 
-// execute runs the distributed pipeline and returns the final batch.
+// execute lowers the plan to its physical operator tree and runs it as a
+// streaming dataflow: ONE goroutine per slice drives that slice's fused
+// operator chain batch-at-a-time (plus one goroutine per exchange
+// producer), so intermediate results are never materialized between stages
+// — peak live batches are O(slices × pipeline depth), bounded by the
+// exchange buffers and one outstanding batch per operator.
 func (q *queryRun) execute() (*exec.Batch, error) {
 	nslices := q.numSlices()
-
-	// Stage 1: scan the base table on every slice. A DISTSTYLE ALL base
-	// table is duplicated per node, so only the first node's slices scan it
-	// (reading every copy would multiply the rows).
-	base := q.p.Tables[0]
-	spn := q.db.cl.Config().SlicesPerNode
-	scanSpan := q.trace.StartChild("scan " + base.Def.Name)
-	left, err := q.parallelSlices(nslices, func(sl int) ([]*exec.Batch, error) {
-		if q.sys == nil && base.Def.DistStyle == catalog.DistAll && sl >= spn {
-			return nil, nil
-		}
-		return q.scanTable(sl, base, scanSpan)
-	})
-	scanSpan.End()
-	if err != nil {
-		return nil, err
+	q.ph = plan.BuildPhysical(q.p)
+	q.stats = make([]*exec.OpStats, len(q.ph.Nodes))
+	for i := range q.stats {
+		q.stats[i] = &exec.OpStats{}
 	}
+	q.scanInsts = make([][]scanInstance, len(q.ph.Nodes))
+	q.exs = map[int]*exec.Exchange{}
+	q.exBytes = map[int]*atomic.Int64{}
+	m := q.db.metrics
+	q.flight = exec.NewFlightTracker(m.Gauge("exec_batches_in_flight"))
+	defer func() {
+		q.foldScanStats()
+		m.Gauge("exec_batches_in_flight_peak").Set(q.flight.HighWater())
+		q.emitSpans()
+	}()
 
-	// Stage 2: apply joins left-to-right with planner-chosen movement.
-	for _, step := range q.p.Joins {
-		right := q.p.Tables[step.Right]
-		joinSpan := q.trace.StartChild(fmt.Sprintf("join %s [%s]", right.Def.Name, step.Strategy))
-		if step.Strategy == plan.StrategyShuffle {
-			left, err = q.exchange(left, step.LeftKeys, joinSpan, "shuffle left")
-			if err != nil {
-				joinSpan.End()
-				return nil, err
-			}
+	// Exchanges and their build-side producers are shared across consumer
+	// slices, so they are created once, before the per-slice chains.
+	for ji := range q.ph.Joins {
+		pj := &q.ph.Joins[ji]
+		step := &q.p.Joins[ji]
+		if pj.ProbeEx != nil {
+			q.newExchange(pj.ProbeEx, nslices)
 		}
-		builds, err := q.buildSides(step, joinSpan)
-		if err != nil {
-			joinSpan.End()
-			return nil, err
+		if pj.BuildEx == nil {
+			continue
 		}
-		rightWidth := len(right.Def.Columns)
-		step := step
-		left, err = q.parallelSlices(nslices, func(sl int) ([]*exec.Batch, error) {
-			join, err := exec.NewHashJoin(q.mode, step, rightWidth)
-			if err != nil {
-				return nil, err
-			}
-			for _, b := range builds[sl] {
-				if err := join.Build(b); err != nil {
-					return nil, err
-				}
-			}
-			var out []*exec.Batch
-			for _, b := range left[sl] {
-				joined, err := join.Probe(b)
-				if err != nil {
-					return nil, err
-				}
-				if joined.N > 0 {
-					out = append(out, joined)
-				}
-			}
-			return out, nil
-		})
-		joinSpan.Add("rows", countRows(left))
-		joinSpan.End()
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	// Stage 3: residual WHERE.
-	if q.p.Where != nil {
-		where := q.p.Where
-		filterSpan := q.trace.StartChild("filter")
+		ex := q.newExchange(pj.BuildEx, nslices)
+		var route exec.RouteFn
 		var err error
-		left, err = q.parallelSlices(nslices, func(sl int) ([]*exec.Batch, error) {
-			f, err := exec.NewFilter(q.mode, where)
+		if pj.BuildEx.ExKind == plan.ExchangeBroadcast {
+			route = exec.BroadcastRoute(nslices)
+		} else {
+			route, err = exec.NewShuffleRouter(q.mode, step.RightKeys, nslices)
 			if err != nil {
 				return nil, err
 			}
-			var out []*exec.Batch
-			for _, b := range left[sl] {
-				fb, err := f.Apply(b)
-				if err != nil {
-					return nil, err
-				}
-				if fb.N > 0 {
-					out = append(out, fb)
-				}
+		}
+		for src := 0; src < nslices; src++ {
+			op, err := q.scanOp(pj.BuildScan, src)
+			if err != nil {
+				return nil, err
 			}
-			return out, nil
-		})
-		filterSpan.Add("rows", countRows(left))
-		filterSpan.End()
-		if err != nil {
-			return nil, err
+			q.prods = append(q.prods, producer{ex: ex, src: src, op: op, route: route})
 		}
 	}
 
 	if q.p.HasAgg {
-		return q.aggregate(left)
+		q.aggTables = make([]*exec.GroupTable, nslices)
+		q.aggGroups = make([]int64, nslices)
 	}
-	return q.project(left)
-}
-
-// account records cross-node traffic for data-plane queries; system-table
-// queries run leader-only, so their batch movement is not network traffic.
-func (q *queryRun) account(fromNode, toNode int, bytes int64, kind cluster.TransferKind) {
-	if q.sys == nil {
-		q.db.cl.AccountTransfer(fromNode, toNode, bytes, kind)
-	}
-}
-
-// countRows sums batch rows across all slices (for span attributes).
-func countRows(parts [][]*exec.Batch) int64 {
-	var n int64
-	for _, bs := range parts {
-		for _, b := range bs {
-			n += int64(b.N)
+	chains := make([]exec.Operator, nslices)
+	for sl := 0; sl < nslices; sl++ {
+		var err error
+		chains[sl], err = q.buildChain(sl, nslices)
+		if err != nil {
+			return nil, err
 		}
 	}
-	return n
-}
 
-// aggregate runs the two-phase aggregation: partial per slice, merge and
-// finalize at the leader.
-func (q *queryRun) aggregate(left [][]*exec.Batch) (*exec.Batch, error) {
-	nslices := q.numSlices()
-	aggSpan := q.trace.StartChild("partial-agg")
-	tables := make([]*exec.GroupTable, nslices)
-	var wg sync.WaitGroup
+	var prodWG sync.WaitGroup
+	for _, pr := range q.prods {
+		prodWG.Add(1)
+		go func(pr producer) {
+			defer prodWG.Done()
+			pr.ex.Produce(pr.src, pr.op, pr.route)
+		}(pr)
+	}
+
+	perSlice := make([][]*exec.Batch, nslices)
 	errs := make([]error, nslices)
+	var wg sync.WaitGroup
 	for sl := 0; sl < nslices; sl++ {
 		wg.Add(1)
 		go func(sl int) {
 			defer wg.Done()
-			sliceSpan := aggSpan.StartChild(fmt.Sprintf("slice %d", sl))
-			defer sliceSpan.End()
-			gt, err := exec.NewGroupTable(q.mode, q.p.GroupBy, q.p.Aggs)
-			if err != nil {
-				errs[sl] = err
-				return
-			}
-			for _, b := range left[sl] {
-				if err := gt.Consume(b); err != nil {
-					errs[sl] = err
-					return
+			var sink func(*exec.Batch) error
+			if !q.p.HasAgg {
+				// Collecting a batch at the leader is the gather transfer.
+				node := q.db.cl.Slice(sl).Node.ID
+				sink = func(b *exec.Batch) error {
+					sz := b.ByteSize()
+					q.account(node, -1, sz, cluster.TransferGather)
+					q.gatherBytes.Add(sz)
+					perSlice[sl] = append(perSlice[sl], b)
+					return nil
 				}
 			}
-			tables[sl] = gt
-			sliceSpan.Add("groups", int64(gt.NumGroups()))
+			if err := driveChain(chains[sl], sink); err != nil {
+				errs[sl] = err
+				// Unblock every producer and consumer parked on an exchange.
+				q.abortExchanges(err)
+			}
 		}(sl)
 	}
 	wg.Wait()
-	aggSpan.End()
+	prodWG.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
-	// Leader merge. Partial-state shipping is accounted approximately:
-	// each slice sends its group count × a state-size estimate.
-	mergeSpan := q.trace.StartChild("leader-merge")
-	leader := tables[0]
-	for sl := 1; sl < nslices; sl++ {
-		shipped := int64(tables[sl].NumGroups()) * 64
-		q.account(q.db.cl.Slice(sl).Node.ID, -1, shipped, cluster.TransferGather)
-		mergeSpan.Add("bytes", shipped)
-		leader.Merge(tables[sl])
-	}
-	mergeSpan.Add("groups", int64(leader.NumGroups()))
-	mergeSpan.End()
-	aggBatch, err := leader.Result()
-	if err != nil {
-		return nil, err
-	}
-	if q.p.Having != nil {
-		f, err := exec.NewFilter(q.mode, q.p.Having)
-		if err != nil {
-			return nil, err
-		}
-		if aggBatch, err = f.Apply(aggBatch); err != nil {
-			return nil, err
-		}
-	}
-	proj, err := exec.NewProjector(q.mode, q.p.Project)
-	if err != nil {
-		return nil, err
-	}
-	out, err := proj.Apply(aggBatch)
-	if err != nil {
-		return nil, err
-	}
-	return q.finalize(out)
-}
 
-// project handles the non-aggregating tail: slice-side projection (plus
-// partial distinct / top-N when profitable), leader merge.
-func (q *queryRun) project(left [][]*exec.Batch) (*exec.Batch, error) {
-	nslices := q.numSlices()
-	sliceTopN := len(q.p.OrderBy) > 0 && q.p.Limit >= 0 && !q.p.Distinct
-	projSpan := q.trace.StartChild("project")
-	projected, err := q.parallelSlices(nslices, func(sl int) ([]*exec.Batch, error) {
-		proj, err := exec.NewProjector(q.mode, q.p.Project)
-		if err != nil {
-			return nil, err
+	// Leader phase: the final merge runs as one more instrumented chain.
+	var root exec.Operator
+	if q.p.HasAgg {
+		for sl, gt := range q.aggTables {
+			q.aggGroups[sl] = int64(gt.NumGroups())
 		}
-		merged := exec.NewBatch(len(q.p.Project))
-		for _, b := range left[sl] {
-			pb, err := proj.Apply(b)
+		ship := func(sl int, t *exec.GroupTable) {
+			// Partial-state shipping accounts the real encoded state size.
+			shipped := t.StateBytes()
+			q.account(q.db.cl.Slice(sl).Node.ID, -1, shipped, cluster.TransferGather)
+			q.gatherBytes.Add(shipped)
+		}
+		root = q.wrap(exec.NewGroupMergeOp(q.aggTables, ship), q.ph.LeaderAgg)
+		if q.ph.Having != nil {
+			f, err := exec.NewFilterOp(q.mode, q.p.Having, root)
 			if err != nil {
 				return nil, err
 			}
-			if err := merged.Concat(pb); err != nil {
-				return nil, err
-			}
+			root = q.wrap(f, q.ph.Having)
 		}
-		if q.p.Distinct {
-			merged = exec.Distinct(merged) // partial dedup before transfer
-		}
-		if sliceTopN {
-			merged = exec.SortBatch(merged, q.p.OrderBy)
-			merged = exec.TopN(merged, q.p.Limit)
-		}
-		return []*exec.Batch{merged}, nil
-	})
-	projSpan.End()
-	if err != nil {
-		return nil, err
-	}
-	// Ship per-slice results to the leader.
-	mergeSpan := q.trace.StartChild("leader-merge")
-	var perSlice []*exec.Batch
-	for sl, bs := range projected {
-		b := bs[0]
-		q.account(q.db.cl.Slice(sl).Node.ID, -1, b.ByteSize(), cluster.TransferGather)
-		mergeSpan.Add("bytes", b.ByteSize())
-		perSlice = append(perSlice, b)
-	}
-	var out *exec.Batch
-	if sliceTopN {
-		out, err = exec.MergeSorted(perSlice, q.p.OrderBy)
+		proj, err := exec.NewProjectOp(q.mode, q.p.Project, root)
 		if err != nil {
-			mergeSpan.End()
 			return nil, err
 		}
+		root = q.wrap(proj, q.ph.Project)
 	} else {
-		out = exec.NewBatch(len(q.p.Project))
-		for _, b := range perSlice {
-			if b.N == 0 {
-				continue
-			}
-			if err := out.Concat(b); err != nil {
-				mergeSpan.End()
-				return nil, err
-			}
+		root = q.wrap(exec.NewLeaderMergeOp(perSlice, q.p.OrderBy, q.p.SliceTopN()), q.ph.Merge)
+	}
+	root = q.wrap(exec.NewFinalizeOp(root, q.p.Distinct, q.p.OrderBy, q.p.Limit, len(q.p.Project)), q.ph.Finalize)
+
+	var final *exec.Batch
+	err := driveChain(root, func(b *exec.Batch) error {
+		if final == nil {
+			final = b
+			return nil
 		}
-	}
-	mergeSpan.Add("rows", int64(out.N))
-	mergeSpan.End()
-	return q.finalize(out)
-}
-
-// finalize applies DISTINCT, ORDER BY and LIMIT at the leader.
-func (q *queryRun) finalize(b *exec.Batch) (*exec.Batch, error) {
-	span := q.trace.StartChild("finalize")
-	defer span.End()
-	if q.p.Distinct {
-		b = exec.Distinct(b)
-	}
-	if len(q.p.OrderBy) > 0 {
-		b = exec.SortBatch(b, q.p.OrderBy)
-	}
-	b = exec.TopN(b, q.p.Limit)
-	span.Add("rows", int64(b.N))
-	return b, nil
-}
-
-// scanTable reads one table's visible segments on one slice, applying the
-// pushed filter and zone-map pruning. Each call gets a per-slice child span
-// under parent and folds its counters into the query totals and the slice's
-// cumulative stv_slice_stats counters.
-func (q *queryRun) scanTable(sl int, scan *plan.TableScan, parent *telemetry.Span) ([]*exec.Batch, error) {
-	if q.sys != nil {
-		return q.scanSystem(sl, scan, parent)
-	}
-	span := parent.StartChild(fmt.Sprintf("slice %d", sl))
-	defer span.End()
-	local := &exec.ScanStats{}
-	scanner, err := exec.NewScanner(q.mode, scan, q.db.cl.FetchBlock, local)
+		return final.Concat(b)
+	})
 	if err != nil {
 		return nil, err
 	}
-	var out []*exec.Batch
-	for _, seg := range q.db.cl.VisibleSegments(sl, scan.Def.ID, q.snapshot) {
-		err := scanner.ScanSegment(seg, func(b *exec.Batch) error {
-			out = append(out, b)
-			return nil
-		})
+	if final == nil {
+		final = exec.NewBatch(len(q.p.Project))
+	}
+	return final, nil
+}
+
+// buildChain assembles slice sl's fused operator chain from the physical
+// plan: scan through (joins, filter) into either the slice's partial
+// aggregation or its projection tail. Every operator is wrapped with the
+// instrumentation that feeds per-operator stats and the in-flight gauge.
+func (q *queryRun) buildChain(sl, nslices int) (exec.Operator, error) {
+	ph := q.ph
+	spn := q.db.cl.Config().SlicesPerNode
+	base := ph.Base
+
+	var cur exec.Operator
+	var err error
+	if q.sys == nil && base.Scan.Def.DistStyle == catalog.DistAll && sl >= spn {
+		// A replicated base table is duplicated per node; only the first
+		// node's slices scan it (reading every copy would multiply rows).
+		cur = q.wrap(exec.NewBatchSource(nil), base)
+	} else {
+		cur, err = q.scanOp(base, sl)
 		if err != nil {
 			return nil, err
 		}
 	}
-	q.finishScan(sl, local, span, parent)
-	return out, nil
-}
 
-// finishScan merges one scan call's local counters into the query-wide
-// stats, the slice's cumulative counters, its span, and the parent span's
-// rollup.
-func (q *queryRun) finishScan(sl int, local *exec.ScanStats, span, parent *telemetry.Span) {
-	br := local.BlocksRead.Load()
-	bs := local.BlocksSkipped.Load()
-	rr := local.RowsRead.Load()
-	by := local.BytesRead.Load()
-	q.scans.BlocksRead.Add(br)
-	q.scans.BlocksSkipped.Add(bs)
-	q.scans.RowsRead.Add(rr)
-	q.scans.RowsEmitted.Add(local.RowsEmitted.Load())
-	q.scans.PageFaults.Add(local.PageFaults.Load())
-	q.scans.BytesRead.Add(by)
-
-	st := &q.db.sliceStats[sl]
-	st.scans.Add(1)
-	st.blocksRead.Add(br)
-	st.blocksSkipped.Add(bs)
-	st.rowsRead.Add(rr)
-	st.bytesRead.Add(by)
-
-	span.Add("rows", rr)
-	span.Add("blocks_read", br)
-	span.Add("blocks_skipped", bs)
-	span.Add("bytes", by)
-	parent.Add("rows", rr)
-	parent.Add("blocks_read", br)
-	parent.Add("blocks_skipped", bs)
-	parent.Add("bytes", by)
-}
-
-// scanSystem materializes a system table's rows (leader slice only) and
-// applies the pushed-down filter.
-func (q *queryRun) scanSystem(sl int, scan *plan.TableScan, parent *telemetry.Span) ([]*exec.Batch, error) {
-	if sl != 0 {
-		return nil, nil
+	for ji := range ph.Joins {
+		pj := &ph.Joins[ji]
+		step := &q.p.Joins[ji]
+		right := q.p.Tables[step.Right]
+		if pj.ProbeEx != nil {
+			// DS_DIST_BOTH: this slice's accumulated chain becomes a shuffle
+			// producer, and the chain continues from the exchange's output.
+			ex := q.exs[pj.ProbeEx.ID]
+			route, err := exec.NewShuffleRouter(q.mode, step.LeftKeys, nslices)
+			if err != nil {
+				return nil, err
+			}
+			q.prods = append(q.prods, producer{ex: ex, src: sl, op: cur, route: route})
+			cur = q.wrap(exec.NewRecvOp(ex, sl), pj.ProbeEx)
+		}
+		var build exec.Operator
+		switch {
+		case pj.BuildEx != nil:
+			build = q.wrap(exec.NewRecvOp(q.exs[pj.BuildEx.ID], sl), pj.BuildEx)
+		case step.Strategy == plan.StrategyBroadcast && right.Def.DistStyle == catalog.DistAll:
+			// Already replicated: every slice reads its node's local copy.
+			build, err = q.scanOp(pj.BuildScan, (sl/spn)*spn)
+		default: // collocated
+			build, err = q.scanOp(pj.BuildScan, sl)
+		}
+		if err != nil {
+			return nil, err
+		}
+		join, err := exec.NewHashJoin(q.mode, *step, len(right.Def.Columns))
+		if err != nil {
+			return nil, err
+		}
+		cur = q.wrap(exec.NewHashJoinOp(join, build, cur), pj.Probe)
 	}
-	span := parent.StartChild("leader")
-	defer span.End()
+
+	if ph.Where != nil {
+		f, err := exec.NewFilterOp(q.mode, q.p.Where, cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = q.wrap(f, ph.Where)
+	}
+
+	if q.p.HasAgg {
+		gt, err := exec.NewGroupTable(q.mode, q.p.GroupBy, q.p.Aggs)
+		if err != nil {
+			return nil, err
+		}
+		q.aggTables[sl] = gt
+		return q.wrap(exec.NewPartialAggOp(gt, cur), ph.PartialAgg), nil
+	}
+
+	proj, err := exec.NewProjectOp(q.mode, q.p.Project, cur)
+	if err != nil {
+		return nil, err
+	}
+	cur = q.wrap(proj, ph.Project)
+	if ph.Distinct != nil {
+		cur = q.wrap(exec.NewStreamDistinctOp(cur), ph.Distinct)
+	}
+	if ph.TopN != nil {
+		cur = q.wrap(exec.NewTopNOp(cur, q.p.OrderBy, q.p.Limit, len(q.p.Project)), ph.TopN)
+	}
+	return cur, nil
+}
+
+// scanOp builds one slice's scan of a physical scan node, reading
+// statSlice's visible segments and registering the instance for post-run
+// stats folding.
+func (q *queryRun) scanOp(n *plan.PhysNode, statSlice int) (exec.Operator, error) {
+	if q.sys != nil {
+		op, err := q.sysScanOp(n)
+		if err != nil {
+			return nil, err
+		}
+		return q.wrap(op, n), nil
+	}
+	local := &exec.ScanStats{}
+	q.scanInsts[n.ID] = append(q.scanInsts[n.ID], scanInstance{slice: statSlice, stats: local})
+	sc, err := exec.NewScanner(q.mode, n.Scan, q.db.cl.FetchBlock, local)
+	if err != nil {
+		return nil, err
+	}
+	segs := q.db.cl.VisibleSegments(statSlice, n.Scan.Def.ID, q.snapshot)
+	return q.wrap(exec.NewScanOp(sc, segs), n), nil
+}
+
+// sysScanOp materializes a system table's rows and applies the pushed-down
+// filter; system queries run leader-only against in-memory rows.
+func (q *queryRun) sysScanOp(n *plan.PhysNode) (exec.Operator, error) {
+	scan := n.Scan
 	schema := make([]types.Type, len(scan.Def.Columns))
 	for i, c := range scan.Def.Columns {
 		schema[i] = c.Type
@@ -537,181 +502,157 @@ func (q *queryRun) scanSystem(sl int, scan *plan.TableScan, parent *telemetry.Sp
 	if b, err = f.Apply(b); err != nil {
 		return nil, err
 	}
-	span.Add("rows", int64(b.N))
 	if b.N == 0 {
-		return nil, nil
+		return exec.NewBatchSource(nil), nil
 	}
-	return []*exec.Batch{b}, nil
+	return exec.NewBatchSource([]*exec.Batch{b}), nil
 }
 
-// buildSides materializes the join build input for every slice according
-// to the strategy, recording movement under the join's span.
-func (q *queryRun) buildSides(step plan.JoinStep, joinSpan *telemetry.Span) ([][]*exec.Batch, error) {
-	nslices := q.numSlices()
-	right := q.p.Tables[step.Right]
+// newExchange creates the shared exchange behind one physical movement
+// node, wiring transfer accounting and cross-node byte attribution in.
+func (q *queryRun) newExchange(n *plan.PhysNode, nslices int) *exec.Exchange {
+	bytes := &atomic.Int64{}
+	q.exBytes[n.ID] = bytes
+	kind := cluster.TransferShuffle
+	if n.ExKind == plan.ExchangeBroadcast {
+		kind = cluster.TransferBroadcast
+	}
+	account := func(src, dst int, b *exec.Batch) {
+		srcNode := q.db.cl.Slice(src).Node.ID
+		dstNode := q.db.cl.Slice(dst).Node.ID
+		sz := b.ByteSize()
+		q.account(srcNode, dstNode, sz, kind)
+		if srcNode != dstNode {
+			bytes.Add(sz)
+		}
+	}
+	ex := exec.NewExchange(nslices, exchangeBuf, account, q.flight)
+	q.exs[n.ID] = ex
+	return ex
+}
 
-	switch step.Strategy {
-	case plan.StrategyCollocated:
-		// Each slice joins its local shard: zero movement.
-		scanSpan := joinSpan.StartChild("scan " + right.Def.Name)
-		defer scanSpan.End()
-		return q.parallelSlices(nslices, func(sl int) ([]*exec.Batch, error) {
-			return q.scanTable(sl, right, scanSpan)
-		})
+// wrap decorates op with the physical node's shared stats and the query's
+// in-flight tracker.
+func (q *queryRun) wrap(op exec.Operator, n *plan.PhysNode) exec.Operator {
+	return exec.Instrument(op, q.stats[n.ID], q.flight)
+}
 
-	case plan.StrategyBroadcast:
-		if right.Def.DistStyle == catalog.DistAll {
-			// The table is already duplicated per node; every slice reads
-			// its node's copy locally.
-			scanSpan := joinSpan.StartChild("scan " + right.Def.Name)
-			defer scanSpan.End()
-			spn := q.db.cl.Config().SlicesPerNode
-			return q.parallelSlices(nslices, func(sl int) ([]*exec.Batch, error) {
-				home := (sl / spn) * spn
-				return q.scanTable(home, right, scanSpan)
-			})
-		}
-		// Gather the full table at the leader, then broadcast to every
-		// node — and account both movements.
-		scanSpan := joinSpan.StartChild("scan " + right.Def.Name)
-		var gathered []*exec.Batch
-		var gatherBytes int64
-		for sl := 0; sl < nslices; sl++ {
-			batches, err := q.scanTable(sl, right, scanSpan)
-			if err != nil {
-				scanSpan.End()
-				return nil, err
-			}
-			for _, b := range batches {
-				q.account(q.db.cl.Slice(sl).Node.ID, -1, b.ByteSize(), cluster.TransferBroadcast)
-				gatherBytes += b.ByteSize()
-				gathered = append(gathered, b)
-			}
-		}
-		scanSpan.End()
-		bcastSpan := joinSpan.StartChild("broadcast")
-		for n := 0; n < q.db.cl.NumNodes(); n++ {
-			q.account(-1, n, gatherBytes, cluster.TransferBroadcast)
-			bcastSpan.Add("bytes", gatherBytes)
-		}
-		bcastSpan.Add("rows", countRows([][]*exec.Batch{gathered}))
-		bcastSpan.End()
-		out := make([][]*exec.Batch, nslices)
-		for sl := range out {
-			out[sl] = gathered
-		}
-		return out, nil
+// abortExchanges fails every exchange so no producer or consumer stays
+// parked on a channel after an error elsewhere in the dataflow.
+func (q *queryRun) abortExchanges(err error) {
+	for _, ex := range q.exs {
+		ex.Abort(err)
+	}
+}
 
-	case plan.StrategyShuffle:
-		// Scan the inner side everywhere and repartition it by join key.
-		scanSpan := joinSpan.StartChild("scan " + right.Def.Name)
-		scanned, err := q.parallelSlices(nslices, func(sl int) ([]*exec.Batch, error) {
-			return q.scanTable(sl, right, scanSpan)
-		})
-		scanSpan.End()
+// driveChain runs one operator chain to exhaustion, feeding each emitted
+// batch to sink (which may be nil).
+func driveChain(op exec.Operator, sink func(*exec.Batch) error) error {
+	if err := op.Open(); err != nil {
+		op.Close()
+		return err
+	}
+	for {
+		b, err := op.Next()
 		if err != nil {
-			return nil, err
+			op.Close()
+			return err
 		}
-		return q.exchange(scanned, step.RightKeys, joinSpan, "shuffle "+right.Def.Name)
+		if b == nil {
+			break
+		}
+		if sink != nil {
+			if err := sink(b); err != nil {
+				op.Close()
+				return err
+			}
+		}
+	}
+	return op.Close()
+}
 
-	default:
-		return nil, fmt.Errorf("core: unknown join strategy %v", step.Strategy)
+// account records cross-node traffic for data-plane queries; system-table
+// queries run leader-only, so their batch movement is not network traffic.
+func (q *queryRun) account(fromNode, toNode int, bytes int64, kind cluster.TransferKind) {
+	if q.sys == nil {
+		q.db.cl.AccountTransfer(fromNode, toNode, bytes, kind)
 	}
 }
 
-// exchange repartitions per-slice batch streams by the hash of the key
-// expressions — the redistribution step of a shuffle join — accounting
-// every byte that crosses a node boundary under a child span of parent.
-func (q *queryRun) exchange(in [][]*exec.Batch, keys []plan.Expr, parent *telemetry.Span, name string) ([][]*exec.Batch, error) {
-	span := parent.StartChild(name)
-	defer span.End()
-	nslices := q.numSlices()
-	// buckets[src][dst] accumulates rows moving src → dst.
-	buckets := make([][]*exec.Batch, nslices)
-	_, err := q.parallelSlices(nslices, func(src int) ([]*exec.Batch, error) {
-		evs := make([]*exec.Evaluator, len(keys))
-		for i, k := range keys {
-			ev, err := exec.NewEvaluator(q.mode, k)
-			if err != nil {
-				return nil, err
-			}
-			evs[i] = ev
-		}
-		local := make([]*exec.Batch, nslices)
-		for _, b := range in[src] {
-			keyVecs := make([]*types.Vector, len(evs))
-			for i, ev := range evs {
-				v, err := ev.Eval(b)
-				if err != nil {
-					return nil, err
-				}
-				keyVecs[i] = v
-			}
-			sel := make([][]int, nslices)
-			keyRow := make([]types.Value, len(keyVecs))
-			for r := 0; r < b.N; r++ {
-				for i, v := range keyVecs {
-					keyRow[i] = v.Get(r)
-				}
-				dst := int(exec.HashValues(keyRow) % uint64(nslices))
-				sel[dst] = append(sel[dst], r)
-			}
-			for dst, rows := range sel {
-				if len(rows) == 0 {
-					continue
-				}
-				part := b.Gather(rows)
-				if local[dst] == nil {
-					local[dst] = part
-				} else if err := local[dst].Concat(part); err != nil {
-					return nil, err
-				}
-			}
-		}
-		buckets[src] = local
-		return nil, nil
-	})
-	if err != nil {
-		return nil, err
+// foldScanStats merges every scan instance's counters into the query-wide
+// totals and the owning slice's cumulative stv_slice_stats counters.
+func (q *queryRun) foldScanStats() {
+	if q.sys != nil {
+		return
 	}
-	out := make([][]*exec.Batch, nslices)
-	for src := 0; src < nslices; src++ {
-		for dst, b := range buckets[src] {
-			if b == nil || b.N == 0 {
-				continue
-			}
-			srcNode := q.db.cl.Slice(src).Node.ID
-			dstNode := q.db.cl.Slice(dst).Node.ID
-			q.account(srcNode, dstNode, b.ByteSize(), cluster.TransferShuffle)
-			span.Add("rows", int64(b.N))
-			if srcNode != dstNode {
-				span.Add("bytes", b.ByteSize())
-			}
-			out[dst] = append(out[dst], b)
+	for _, insts := range q.scanInsts {
+		for _, inst := range insts {
+			br := inst.stats.BlocksRead.Load()
+			bs := inst.stats.BlocksSkipped.Load()
+			rr := inst.stats.RowsRead.Load()
+			by := inst.stats.BytesRead.Load()
+			q.scans.BlocksRead.Add(br)
+			q.scans.BlocksSkipped.Add(bs)
+			q.scans.RowsRead.Add(rr)
+			q.scans.RowsEmitted.Add(inst.stats.RowsEmitted.Load())
+			q.scans.PageFaults.Add(inst.stats.PageFaults.Load())
+			q.scans.BytesRead.Add(by)
+
+			st := &q.db.sliceStats[inst.slice]
+			st.scans.Add(1)
+			st.blocksRead.Add(br)
+			st.blocksSkipped.Add(bs)
+			st.rowsRead.Add(rr)
+			st.bytesRead.Add(by)
 		}
 	}
-	return out, nil
 }
 
-// parallelSlices runs fn for every slice concurrently and collects the
-// per-slice outputs. Slices on failed nodes cause an error unless their
-// blocks can fail over (the scanner's fetch path handles that).
-func (q *queryRun) parallelSlices(n int, fn func(sl int) ([]*exec.Batch, error)) ([][]*exec.Batch, error) {
-	out := make([][]*exec.Batch, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	for sl := 0; sl < n; sl++ {
-		wg.Add(1)
-		go func(sl int) {
-			defer wg.Done()
-			out[sl], errs[sl] = fn(sl)
-		}(sl)
+// emitSpans reconstructs the query's trace tree from the per-operator
+// stats the instrumenting wrappers collected: one span per physical node
+// (duration = cumulative operator time across its slice instances), with
+// per-slice children carrying scan block counters and partial-agg group
+// counts.
+func (q *queryRun) emitSpans() {
+	if q.trace == nil {
+		return
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	for _, n := range q.ph.Nodes {
+		sp := q.trace.StartChild(n.SpanName())
+		st := q.stats[n.ID]
+		sp.Add("rows", st.Rows.Load())
+		sp.Add("batches", st.Batches.Load())
+		switch n.Kind {
+		case plan.PhysScan:
+			for _, inst := range q.scanInsts[n.ID] {
+				child := sp.StartChild(fmt.Sprintf("slice %d", inst.slice))
+				child.Add("rows", inst.stats.RowsRead.Load())
+				child.Add("blocks_read", inst.stats.BlocksRead.Load())
+				child.Add("blocks_skipped", inst.stats.BlocksSkipped.Load())
+				child.Add("bytes", inst.stats.BytesRead.Load())
+				child.SetDuration(0)
+				sp.Add("blocks_read", inst.stats.BlocksRead.Load())
+				sp.Add("blocks_skipped", inst.stats.BlocksSkipped.Load())
+				sp.Add("bytes", inst.stats.BytesRead.Load())
+			}
+		case plan.PhysPartialAgg:
+			for sl := range q.aggGroups {
+				child := sp.StartChild(fmt.Sprintf("slice %d", sl))
+				child.Add("groups", q.aggGroups[sl])
+				child.SetDuration(0)
+			}
+		case plan.PhysLeaderAgg:
+			sp.Add("bytes", q.gatherBytes.Load())
+			if len(q.aggTables) > 0 && q.aggTables[0] != nil {
+				sp.Add("groups", int64(q.aggTables[0].NumGroups()))
+			}
+		case plan.PhysLeaderMerge:
+			sp.Add("bytes", q.gatherBytes.Load())
+		case plan.PhysExchange:
+			if c := q.exBytes[n.ID]; c != nil {
+				sp.Add("bytes", c.Load())
+			}
 		}
+		sp.SetDuration(time.Duration(st.Nanos.Load()))
 	}
-	return out, nil
 }

@@ -108,11 +108,11 @@ func isSystemTable(name string) bool {
 	return false
 }
 
-// runSystemSelect executes a SELECT over system tables: the full plan and
-// execution pipeline runs, but against a transient catalog of materialized
-// rows, on a single leader "slice". System queries are not themselves
-// logged into stl_query (monitoring shouldn't fill the log it reads).
-func (db *Database) runSystemSelect(s *sql.Select) (*Result, error) {
+// sysCatalog builds the transient catalog the system tables live in, with
+// each table's rows materialized. Both system SELECTs and system EXPLAINs
+// must plan against this catalog — the persistent catalog has no stl_/stv_
+// definitions.
+func (db *Database) sysCatalog() (*catalog.Catalog, map[*catalog.TableDef][]types.Row, error) {
 	cat := catalog.New()
 	sys := map[*catalog.TableDef][]types.Row{}
 	for _, st := range systemTables {
@@ -122,9 +122,21 @@ func (db *Database) runSystemSelect(s *sql.Select) (*Result, error) {
 			def.Columns = append(def.Columns, c)
 		}
 		if err := cat.Create(def); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		sys[def] = st.rows(db)
+	}
+	return cat, sys, nil
+}
+
+// runSystemSelect executes a SELECT over system tables: the full plan and
+// execution pipeline runs, but against a transient catalog of materialized
+// rows, on a single leader "slice". System queries are not themselves
+// logged into stl_query (monitoring shouldn't fill the log it reads).
+func (db *Database) runSystemSelect(s *sql.Select) (*Result, error) {
+	cat, sys, err := db.sysCatalog()
+	if err != nil {
+		return nil, err
 	}
 	p, err := plan.BuildWith(cat, s, db.cfg.Plan)
 	if err != nil {

@@ -23,6 +23,22 @@ type AggState interface {
 	Merge(o AggState)
 	// Final produces the aggregate result.
 	Final() types.Value
+	// Size is the state's encoded size in bytes when shipped to the
+	// leader, so gather-transfer accounting reflects what actually moves:
+	// constant for linear aggregates, value-set-proportional for exact
+	// distinct, constant-sketch for approximate distinct.
+	Size() int64
+}
+
+// valueSize is the encoded width of one value in a shipped partial state.
+func valueSize(v types.Value) int64 {
+	if v.Null {
+		return 1
+	}
+	if v.T == types.String {
+		return int64(len(v.S)) + 4
+	}
+	return 8
 }
 
 // NewAggState builds the accumulator for a spec.
@@ -59,6 +75,7 @@ func (s *countState) Update(v types.Value) {
 func (s *countState) UpdateRow()         { s.n++ }
 func (s *countState) Merge(o AggState)   { s.n += o.(*countState).n }
 func (s *countState) Final() types.Value { return types.NewInt(s.n) }
+func (s *countState) Size() int64        { return 8 }
 
 type sumIntState struct {
 	sum  int64
@@ -84,6 +101,8 @@ func (s *sumIntState) Final() types.Value {
 	return types.NewInt(s.sum)
 }
 
+func (s *sumIntState) Size() int64 { return 9 } // sum + seen flag
+
 type sumFloatState struct {
 	sum  float64
 	seen bool
@@ -108,6 +127,8 @@ func (s *sumFloatState) Final() types.Value {
 	return types.NewFloat(s.sum)
 }
 
+func (s *sumFloatState) Size() int64 { return 9 } // sum + seen flag
+
 type avgState struct {
 	sum float64
 	n   int64
@@ -131,6 +152,8 @@ func (s *avgState) Final() types.Value {
 	}
 	return types.NewFloat(s.sum / float64(s.n))
 }
+
+func (s *avgState) Size() int64 { return 16 } // sum + count
 
 type minMaxState struct {
 	t    types.Type
@@ -166,6 +189,13 @@ func (s *minMaxState) Final() types.Value {
 	return s.best
 }
 
+func (s *minMaxState) Size() int64 {
+	if !s.seen {
+		return 1
+	}
+	return 1 + valueSize(s.best)
+}
+
 // distinctState implements exact COUNT(DISTINCT x) by shipping the distinct
 // value set from slices to the leader. Exact distinct does not decompose
 // into constant-size partials — which is precisely why §4 argues for
@@ -187,6 +217,16 @@ func (s *distinctState) Merge(o AggState) {
 }
 func (s *distinctState) Final() types.Value { return types.NewInt(int64(len(s.seen))) }
 
+// Size grows with the value set: exact distinct does not decompose into
+// constant-size partials, and the accounting now shows that.
+func (s *distinctState) Size() int64 {
+	n := int64(8)
+	for k := range s.seen {
+		n += int64(len(k)) + 4
+	}
+	return n
+}
+
 // hllState implements APPROXIMATE COUNT(DISTINCT x) with a constant-size
 // mergeable sketch.
 type hllState struct {
@@ -202,6 +242,7 @@ func (s *hllState) Update(v types.Value) {
 func (s *hllState) UpdateRow()         {}
 func (s *hllState) Merge(o AggState)   { s.sk.Merge(o.(*hllState).sk) }
 func (s *hllState) Final() types.Value { return types.NewInt(s.sk.Estimate()) }
+func (s *hllState) Size() int64        { return s.sk.ByteSize() }
 
 // group is one grouping key's accumulators.
 type group struct {
@@ -321,6 +362,22 @@ func (g *GroupTable) Merge(o *GroupTable) {
 
 // NumGroups returns the number of distinct grouping keys seen.
 func (g *GroupTable) NumGroups() int { return len(g.groups) }
+
+// StateBytes is the encoded size of the table's partial state — group keys
+// plus accumulators — i.e. what a slice actually ships to the leader.
+func (g *GroupTable) StateBytes() int64 {
+	var n int64
+	for _, k := range g.order {
+		grp := g.groups[k]
+		for _, v := range grp.keys {
+			n += valueSize(v)
+		}
+		for _, st := range grp.states {
+			n += st.Size()
+		}
+	}
+	return n
+}
 
 // Result materializes the aggregate layout [group keys..., agg results...].
 // A scalar aggregation (no GROUP BY) always yields exactly one row, even

@@ -49,11 +49,7 @@ func (b *Batch) Gather(sel []int) *Batch {
 		if v == nil {
 			continue
 		}
-		nv := types.NewVector(v.T, len(sel))
-		for _, i := range sel {
-			nv.Append(v.Get(i))
-		}
-		out.Cols[c] = nv
+		out.Cols[c] = v.Gather(sel)
 	}
 	return out
 }
@@ -72,7 +68,7 @@ func (b *Batch) Concat(other *Batch) error {
 		case b.Cols[c] == nil && other.Cols[c] == nil:
 		case b.Cols[c] != nil && other.Cols[c] != nil:
 			for i := 0; i < other.N; i++ {
-				b.Cols[c].Append(other.Cols[c].Get(i))
+				b.Cols[c].AppendFrom(other.Cols[c], i)
 			}
 		default:
 			return fmt.Errorf("exec: concat materialization mismatch at column %d", c)

@@ -1,0 +1,230 @@
+package exec
+
+import (
+	"errors"
+	"sync"
+
+	"redshift/internal/plan"
+	"redshift/internal/types"
+)
+
+// Exchange moves batches between per-slice pipelines through bounded
+// per-(src,dst) channels: the data-movement operator behind shuffle and
+// broadcast joins. The small buffers give backpressure — a slow consumer
+// throttles its producers instead of the system buffering a whole
+// repartitioned table — and the per-pair channels keep consumption
+// deterministic: each receiver drains source 0's stream, then source 1's,
+// and so on, so a query's output is bit-identical run to run.
+type Exchange struct {
+	n     int
+	chans [][]chan *Batch // [src][dst]
+	done  chan struct{}
+	once  sync.Once
+	err   error // written once before done closes
+	// account observes every delivered batch (transfer accounting lives in
+	// the exchange now, not in the driver); may be nil.
+	account AccountFn
+	fl      *FlightTracker
+}
+
+// AccountFn observes one batch delivered from src slice to dst slice.
+type AccountFn func(src, dst int, b *Batch)
+
+// RouteFn splits one batch into per-destination parts (nil/empty parts are
+// skipped). The returned slice is indexed by destination.
+type RouteFn func(*Batch) ([]*Batch, error)
+
+// NewExchange creates an n-way exchange with buf batches of slack per
+// (src,dst) pair.
+func NewExchange(n, buf int, account AccountFn, fl *FlightTracker) *Exchange {
+	e := &Exchange{
+		n:       n,
+		chans:   make([][]chan *Batch, n),
+		done:    make(chan struct{}),
+		account: account,
+		fl:      fl,
+	}
+	for src := range e.chans {
+		e.chans[src] = make([]chan *Batch, n)
+		for dst := range e.chans[src] {
+			e.chans[src][dst] = make(chan *Batch, buf)
+		}
+	}
+	return e
+}
+
+// Abort cancels the exchange: pending and future sends and receives return
+// err. The first abort wins.
+func (e *Exchange) Abort(err error) {
+	if err == nil {
+		err = errors.New("exec: exchange aborted")
+	}
+	e.once.Do(func() {
+		e.err = err
+		close(e.done)
+	})
+}
+
+// Err returns the abort error, or nil while the exchange is healthy.
+func (e *Exchange) Err() error {
+	select {
+	case <-e.done:
+		return e.err
+	default:
+		return nil
+	}
+}
+
+// Send delivers one batch from src to dst, blocking while dst's buffer is
+// full (backpressure) and failing once the exchange is aborted.
+func (e *Exchange) Send(src, dst int, b *Batch) error {
+	// Inc before the channel op so the consumer's Dec can never observe the
+	// batch before it was counted.
+	e.fl.Inc()
+	select {
+	case e.chans[src][dst] <- b:
+		if e.account != nil {
+			e.account(src, dst, b)
+		}
+		return nil
+	case <-e.done:
+		e.fl.Dec()
+		return e.err
+	}
+}
+
+// closeSend marks src's streams complete for every destination.
+func (e *Exchange) closeSend(src int) {
+	for _, ch := range e.chans[src] {
+		close(ch)
+	}
+}
+
+// Produce drives op to exhaustion, routing every output batch to its
+// destinations. It always closes src's streams on the way out and aborts
+// the exchange on any failure, so consumers never hang.
+func (e *Exchange) Produce(src int, op Operator, route RouteFn) {
+	defer e.closeSend(src)
+	if err := op.Open(); err != nil {
+		e.Abort(err)
+		op.Close()
+		return
+	}
+loop:
+	for {
+		b, err := op.Next()
+		if err != nil {
+			e.Abort(err)
+			break
+		}
+		if b == nil {
+			break
+		}
+		parts, err := route(b)
+		if err != nil {
+			e.Abort(err)
+			break
+		}
+		for dst, p := range parts {
+			if p == nil || p.N == 0 {
+				continue
+			}
+			if err := e.Send(src, dst, p); err != nil {
+				break loop
+			}
+		}
+	}
+	if err := op.Close(); err != nil {
+		e.Abort(err)
+	}
+}
+
+// RecvOp streams one destination's inbound batches, draining sources in
+// index order (deterministic assembly).
+type RecvOp struct {
+	e   *Exchange
+	dst int
+	src int
+}
+
+// NewRecvOp returns dst's receiving operator.
+func NewRecvOp(e *Exchange, dst int) *RecvOp { return &RecvOp{e: e, dst: dst} }
+
+func (o *RecvOp) Open() error { return nil }
+
+func (o *RecvOp) Next() (*Batch, error) {
+	for o.src < o.e.n {
+		select {
+		case b, ok := <-o.e.chans[o.src][o.dst]:
+			if !ok {
+				o.src++
+				continue
+			}
+			o.e.fl.Dec()
+			return b, nil
+		case <-o.e.done:
+			return nil, o.e.err
+		}
+	}
+	// All producers closed cleanly; surface a late abort if one happened.
+	return nil, o.e.Err()
+}
+
+func (o *RecvOp) Close() error { return nil }
+
+// BroadcastRoute replicates every batch to all n destinations. Consumers
+// must treat inbound batches as read-only (hash-join build does).
+func BroadcastRoute(n int) RouteFn {
+	return func(b *Batch) ([]*Batch, error) {
+		parts := make([]*Batch, n)
+		for i := range parts {
+			parts[i] = b
+		}
+		return parts, nil
+	}
+}
+
+// NewShuffleRouter partitions rows across n destinations by the hash of the
+// key expressions — the same hash the cluster layer distributes rows with,
+// so planner co-location reasoning and executor shuffles agree.
+func NewShuffleRouter(mode Mode, keys []plan.Expr, n int) (RouteFn, error) {
+	evs := make([]*Evaluator, len(keys))
+	for i, k := range keys {
+		ev, err := NewEvaluator(mode, k)
+		if err != nil {
+			return nil, err
+		}
+		evs[i] = ev
+	}
+	return func(b *Batch) ([]*Batch, error) {
+		keyVecs := make([]*types.Vector, len(evs))
+		for i, ev := range evs {
+			v, err := ev.Eval(b)
+			if err != nil {
+				return nil, err
+			}
+			keyVecs[i] = v
+		}
+		sel := make([][]int, n)
+		keyRow := make([]types.Value, len(keyVecs))
+		for r := 0; r < b.N; r++ {
+			for i, v := range keyVecs {
+				keyRow[i] = v.Get(r)
+			}
+			dst := int(HashValues(keyRow) % uint64(n))
+			sel[dst] = append(sel[dst], r)
+		}
+		parts := make([]*Batch, n)
+		for dst, rows := range sel {
+			if len(rows) == 0 {
+				continue
+			}
+			if len(rows) == b.N {
+				parts[dst] = b
+				continue
+			}
+			parts[dst] = b.Gather(rows)
+		}
+		return parts, nil
+	}, nil
+}

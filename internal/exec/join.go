@@ -159,25 +159,14 @@ func (j *HashJoin) assemble(left *Batch, leftSel, rightSel []int) *Batch {
 		if v == nil {
 			continue
 		}
-		nv := types.NewVector(v.T, len(leftSel))
-		for _, i := range leftSel {
-			nv.Append(v.Get(i))
-		}
-		out.Cols[c] = nv
+		out.Cols[c] = v.Gather(leftSel)
 	}
 	for c, v := range j.build.Cols {
 		if v == nil {
 			continue
 		}
-		nv := types.NewVector(v.T, len(rightSel))
-		for _, i := range rightSel {
-			if i < 0 {
-				nv.AppendNull()
-			} else {
-				nv.Append(v.Get(i))
-			}
-		}
-		out.Cols[len(left.Cols)+c] = nv
+		// rightSel holds -1 for unmatched left rows; Gather null-extends.
+		out.Cols[len(left.Cols)+c] = v.Gather(rightSel)
 	}
 	return out
 }

@@ -1,0 +1,619 @@
+package exec
+
+import (
+	"sync/atomic"
+	"time"
+
+	"redshift/internal/plan"
+	"redshift/internal/storage"
+	"redshift/internal/telemetry"
+	"redshift/internal/types"
+)
+
+// Operator is one node of a streaming physical-operator chain: the
+// pull-based (Volcano-style) execution model of §2.1, where intermediate
+// results flow batch-at-a-time through a fused per-slice pipeline instead
+// of being fully materialized between stages. Next returns (nil, nil) at
+// end of stream. Operators are single-consumer: one goroutine drives a
+// chain end to end.
+type Operator interface {
+	Open() error
+	Next() (*Batch, error)
+	Close() error
+}
+
+// BatchSource replays a fixed batch list — system-table rows and other
+// already-materialized inputs.
+type BatchSource struct {
+	batches []*Batch
+	i       int
+}
+
+// NewBatchSource wraps batches as an Operator.
+func NewBatchSource(batches []*Batch) *BatchSource { return &BatchSource{batches: batches} }
+
+func (s *BatchSource) Open() error { return nil }
+
+func (s *BatchSource) Next() (*Batch, error) {
+	for s.i < len(s.batches) {
+		b := s.batches[s.i]
+		s.i++
+		if b != nil && b.N > 0 {
+			return b, nil
+		}
+	}
+	return nil, nil
+}
+
+func (s *BatchSource) Close() error { return nil }
+
+// ScanOp streams one table's visible segments on one slice, one block
+// row-group per Next pull.
+type ScanOp struct {
+	sc   *Scanner
+	segs []*storage.Segment
+	si   int
+	bi   int
+}
+
+// NewScanOp wraps a prepared Scanner over a segment list.
+func NewScanOp(sc *Scanner, segs []*storage.Segment) *ScanOp {
+	return &ScanOp{sc: sc, segs: segs}
+}
+
+func (o *ScanOp) Open() error { return nil }
+
+func (o *ScanOp) Next() (*Batch, error) {
+	for o.si < len(o.segs) {
+		seg := o.segs[o.si]
+		if o.bi >= seg.NumBlocks() {
+			o.si++
+			o.bi = 0
+			continue
+		}
+		if seg.Schema.Len() != o.sc.width {
+			return nil, errWidth("segment", seg.Schema.Len(), o.sc.width)
+		}
+		bi := o.bi
+		o.bi++
+		b, err := o.sc.ScanBlock(seg, bi)
+		if err != nil {
+			return nil, err
+		}
+		if b != nil {
+			return b, nil
+		}
+	}
+	return nil, nil
+}
+
+func (o *ScanOp) Close() error { return nil }
+
+// FilterOp streams its child through a predicate, dropping emptied batches.
+type FilterOp struct {
+	child Operator
+	f     *Filter
+}
+
+// NewFilterOp prepares a streaming filter; a nil predicate passes through.
+func NewFilterOp(mode Mode, pred plan.Expr, child Operator) (*FilterOp, error) {
+	f, err := NewFilter(mode, pred)
+	if err != nil {
+		return nil, err
+	}
+	return &FilterOp{child: child, f: f}, nil
+}
+
+func (o *FilterOp) Open() error { return o.child.Open() }
+
+func (o *FilterOp) Next() (*Batch, error) {
+	for {
+		b, err := o.child.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		fb, err := o.f.Apply(b)
+		if err != nil {
+			return nil, err
+		}
+		if fb.N > 0 {
+			return fb, nil
+		}
+	}
+}
+
+func (o *FilterOp) Close() error { return o.child.Close() }
+
+// ProjectOp computes the output columns batch by batch.
+type ProjectOp struct {
+	child Operator
+	proj  *Projector
+}
+
+// NewProjectOp prepares a streaming projection.
+func NewProjectOp(mode Mode, exprs []plan.Expr, child Operator) (*ProjectOp, error) {
+	proj, err := NewProjector(mode, exprs)
+	if err != nil {
+		return nil, err
+	}
+	return &ProjectOp{child: child, proj: proj}, nil
+}
+
+func (o *ProjectOp) Open() error { return o.child.Open() }
+
+func (o *ProjectOp) Next() (*Batch, error) {
+	b, err := o.child.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	return o.proj.Apply(b)
+}
+
+func (o *ProjectOp) Close() error { return o.child.Close() }
+
+// HashJoinOp is the join's pipeline breaker on the build side only: Open
+// drains the build child into the hash table, then probe batches stream
+// through without materialization.
+type HashJoinOp struct {
+	join  *HashJoin
+	build Operator
+	probe Operator
+}
+
+// NewHashJoinOp pairs a prepared HashJoin with its input operators.
+func NewHashJoinOp(join *HashJoin, build, probe Operator) *HashJoinOp {
+	return &HashJoinOp{join: join, build: build, probe: probe}
+}
+
+func (o *HashJoinOp) Open() error {
+	if err := o.build.Open(); err != nil {
+		o.build.Close()
+		return err
+	}
+	for {
+		b, err := o.build.Next()
+		if err != nil {
+			o.build.Close()
+			return err
+		}
+		if b == nil {
+			break
+		}
+		if err := o.join.Build(b); err != nil {
+			o.build.Close()
+			return err
+		}
+	}
+	if err := o.build.Close(); err != nil {
+		return err
+	}
+	return o.probe.Open()
+}
+
+func (o *HashJoinOp) Next() (*Batch, error) {
+	for {
+		b, err := o.probe.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		joined, err := o.join.Probe(b)
+		if err != nil {
+			return nil, err
+		}
+		if joined.N > 0 {
+			return joined, nil
+		}
+	}
+}
+
+func (o *HashJoinOp) Close() error { return o.probe.Close() }
+
+// PartialAggOp is a full pipeline breaker: it folds its entire input into a
+// slice-local group table and emits nothing — the leader merges the tables.
+type PartialAggOp struct {
+	child Operator
+	gt    *GroupTable
+	done  bool
+}
+
+// NewPartialAggOp prepares the slice-local aggregation phase.
+func NewPartialAggOp(gt *GroupTable, child Operator) *PartialAggOp {
+	return &PartialAggOp{child: child, gt: gt}
+}
+
+func (o *PartialAggOp) Open() error { return o.child.Open() }
+
+func (o *PartialAggOp) Next() (*Batch, error) {
+	if o.done {
+		return nil, nil
+	}
+	o.done = true
+	for {
+		b, err := o.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		if err := o.gt.Consume(b); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (o *PartialAggOp) Close() error { return o.child.Close() }
+
+// Table exposes the accumulated partial state after the chain is drained.
+func (o *PartialAggOp) Table() *GroupTable { return o.gt }
+
+// StreamDistinctOp drops rows already seen earlier in the stream. It is NOT
+// a pipeline breaker: first-occurrence order is exactly what batchwise
+// filtering with a shared seen-set produces.
+type StreamDistinctOp struct {
+	child Operator
+	seen  map[string]bool
+}
+
+// NewStreamDistinctOp prepares a streaming partial-distinct.
+func NewStreamDistinctOp(child Operator) *StreamDistinctOp {
+	return &StreamDistinctOp{child: child, seen: map[string]bool{}}
+}
+
+func (o *StreamDistinctOp) Open() error { return o.child.Open() }
+
+func (o *StreamDistinctOp) Next() (*Batch, error) {
+	row := make([]types.Value, 0, 8)
+	for {
+		b, err := o.child.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		var sel []int
+		row = row[:0]
+		for c := 0; c < len(b.Cols); c++ {
+			row = append(row, types.Value{})
+		}
+		for i := 0; i < b.N; i++ {
+			for c, v := range b.Cols {
+				if v != nil {
+					row[c] = v.Get(i)
+				} else {
+					row[c] = types.Value{}
+				}
+			}
+			k := KeyEncoder(row)
+			if !o.seen[k] {
+				o.seen[k] = true
+				sel = append(sel, i)
+			}
+		}
+		if len(sel) == b.N {
+			return b, nil
+		}
+		if len(sel) > 0 {
+			return b.Gather(sel), nil
+		}
+	}
+}
+
+func (o *StreamDistinctOp) Close() error { return o.child.Close() }
+
+// TopNOp is a pipeline breaker: it materializes its whole input, sorts it,
+// truncates to the limit, and emits exactly one batch (possibly empty) —
+// the slice-local ORDER BY + LIMIT pushdown.
+type TopNOp struct {
+	child Operator
+	keys  []plan.OrderKey
+	limit int64
+	width int
+	done  bool
+}
+
+// NewTopNOp prepares a slice-local top-N over a stream of the given width.
+func NewTopNOp(child Operator, keys []plan.OrderKey, limit int64, width int) *TopNOp {
+	return &TopNOp{child: child, keys: keys, limit: limit, width: width}
+}
+
+func (o *TopNOp) Open() error { return o.child.Open() }
+
+func (o *TopNOp) Next() (*Batch, error) {
+	if o.done {
+		return nil, nil
+	}
+	o.done = true
+	merged := NewBatch(o.width)
+	for {
+		b, err := o.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		if err := merged.Concat(b); err != nil {
+			return nil, err
+		}
+	}
+	merged = SortBatch(merged, o.keys)
+	return TopN(merged, o.limit), nil
+}
+
+func (o *TopNOp) Close() error { return o.child.Close() }
+
+// GroupMergeOp is the leader's aggregation phase: it merges the per-slice
+// partial tables and emits the aggregate layout once. ship observes each
+// non-leader table before merging (gather-transfer accounting).
+type GroupMergeOp struct {
+	tables []*GroupTable
+	ship   func(sl int, t *GroupTable)
+	done   bool
+}
+
+// NewGroupMergeOp prepares the leader merge; ship may be nil.
+func NewGroupMergeOp(tables []*GroupTable, ship func(sl int, t *GroupTable)) *GroupMergeOp {
+	return &GroupMergeOp{tables: tables, ship: ship}
+}
+
+func (o *GroupMergeOp) Open() error { return nil }
+
+func (o *GroupMergeOp) Next() (*Batch, error) {
+	if o.done {
+		return nil, nil
+	}
+	o.done = true
+	leader := o.tables[0]
+	for sl := 1; sl < len(o.tables); sl++ {
+		t := o.tables[sl]
+		if o.ship != nil {
+			o.ship(sl, t)
+		}
+		leader.Merge(t)
+	}
+	return leader.Result()
+}
+
+func (o *GroupMergeOp) Close() error { return nil }
+
+// LeaderMergeOp gathers per-slice result streams at the leader: a sorted
+// merge when every slice pre-sorted its output (the top-N pushdown path),
+// otherwise a slice-order replay of the gathered batches.
+type LeaderMergeOp struct {
+	perSlice [][]*Batch
+	keys     []plan.OrderKey
+	sorted   bool
+
+	flat []*Batch
+	i    int
+	done bool
+}
+
+// NewLeaderMergeOp prepares the gather step. sorted selects the merge of
+// pre-sorted single-batch slices.
+func NewLeaderMergeOp(perSlice [][]*Batch, keys []plan.OrderKey, sorted bool) *LeaderMergeOp {
+	return &LeaderMergeOp{perSlice: perSlice, keys: keys, sorted: sorted}
+}
+
+func (o *LeaderMergeOp) Open() error {
+	if !o.sorted {
+		for _, bs := range o.perSlice {
+			o.flat = append(o.flat, bs...)
+		}
+	}
+	return nil
+}
+
+func (o *LeaderMergeOp) Next() (*Batch, error) {
+	if o.sorted {
+		if o.done {
+			return nil, nil
+		}
+		o.done = true
+		var firsts []*Batch
+		for _, bs := range o.perSlice {
+			if len(bs) > 0 {
+				firsts = append(firsts, bs[0])
+			}
+		}
+		return MergeSorted(firsts, o.keys)
+	}
+	for o.i < len(o.flat) {
+		b := o.flat[o.i]
+		o.i++
+		if b != nil && b.N > 0 {
+			return b, nil
+		}
+	}
+	return nil, nil
+}
+
+func (o *LeaderMergeOp) Close() error { return nil }
+
+// FinalizeOp applies leader-side DISTINCT, ORDER BY and LIMIT. It is a
+// breaker when any of those is set; either way it emits exactly one batch
+// so the driver always has a well-formed (possibly empty) result.
+type FinalizeOp struct {
+	child    Operator
+	distinct bool
+	keys     []plan.OrderKey
+	limit    int64
+	width    int
+	done     bool
+}
+
+// NewFinalizeOp prepares the leader's final step over a stream of width
+// columns.
+func NewFinalizeOp(child Operator, distinct bool, keys []plan.OrderKey, limit int64, width int) *FinalizeOp {
+	return &FinalizeOp{child: child, distinct: distinct, keys: keys, limit: limit, width: width}
+}
+
+func (o *FinalizeOp) Open() error { return o.child.Open() }
+
+func (o *FinalizeOp) Next() (*Batch, error) {
+	if o.done {
+		return nil, nil
+	}
+	o.done = true
+	merged := NewBatch(o.width)
+	for {
+		b, err := o.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		if b.N == 0 {
+			continue
+		}
+		if err := merged.Concat(b); err != nil {
+			return nil, err
+		}
+	}
+	if o.distinct {
+		merged = Distinct(merged)
+	}
+	if len(o.keys) > 0 {
+		merged = SortBatch(merged, o.keys)
+	}
+	return TopN(merged, o.limit), nil
+}
+
+func (o *FinalizeOp) Close() error { return o.child.Close() }
+
+// FlightTracker counts batches that have been produced but not yet retired
+// anywhere in a query's pipelines — including batches parked in exchange
+// buffers. The high-water mark is the query's peak count of live
+// intermediate batches: O(slices × pipeline depth) for a streaming
+// executor, O(table size) for a materializing one. All methods are
+// nil-receiver safe.
+type FlightTracker struct {
+	cur  atomic.Int64
+	peak atomic.Int64
+	// live, when set, mirrors the current count into a shared gauge
+	// (exec_batches_in_flight) so /metrics shows pipeline pressure.
+	live *telemetry.Gauge
+}
+
+// NewFlightTracker returns a tracker mirroring into live (which may be nil).
+func NewFlightTracker(live *telemetry.Gauge) *FlightTracker {
+	return &FlightTracker{live: live}
+}
+
+// Inc records one batch entering flight.
+func (f *FlightTracker) Inc() {
+	if f == nil {
+		return
+	}
+	c := f.cur.Add(1)
+	for {
+		p := f.peak.Load()
+		if c <= p || f.peak.CompareAndSwap(p, c) {
+			break
+		}
+	}
+	if f.live != nil {
+		f.live.Add(1)
+	}
+}
+
+// Dec records one batch retired.
+func (f *FlightTracker) Dec() {
+	if f == nil {
+		return
+	}
+	f.cur.Add(-1)
+	if f.live != nil {
+		f.live.Add(-1)
+	}
+}
+
+// Current returns the live batch count.
+func (f *FlightTracker) Current() int64 {
+	if f == nil {
+		return 0
+	}
+	return f.cur.Load()
+}
+
+// HighWater returns the peak live batch count.
+func (f *FlightTracker) HighWater() int64 {
+	if f == nil {
+		return 0
+	}
+	return f.peak.Load()
+}
+
+// OpStats accumulates one physical operator's runtime counters, shared by
+// all of its per-slice instances. Nanos is inclusive (child time counted),
+// like EXPLAIN ANALYZE actual time.
+type OpStats struct {
+	Rows    atomic.Int64
+	Batches atomic.Int64
+	Nanos   atomic.Int64
+}
+
+// instrumented decorates an Operator with the per-operator telemetry the
+// trace tree is built from — rows, batches, cumulative time — and tracks
+// emitted batches in a FlightTracker. A batch is retired when the consumer
+// pulls again (or closes): the pull contract means the consumer is done
+// with the previous batch by then.
+type instrumented struct {
+	op          Operator
+	st          *OpStats
+	fl          *FlightTracker
+	outstanding bool
+}
+
+// Instrument wraps op; st and fl may each be nil.
+func Instrument(op Operator, st *OpStats, fl *FlightTracker) Operator {
+	if st == nil && fl == nil {
+		return op
+	}
+	return &instrumented{op: op, st: st, fl: fl}
+}
+
+func (o *instrumented) Open() error {
+	start := time.Now()
+	err := o.op.Open()
+	if o.st != nil {
+		o.st.Nanos.Add(int64(time.Since(start)))
+	}
+	return err
+}
+
+func (o *instrumented) Next() (*Batch, error) {
+	if o.outstanding {
+		o.fl.Dec()
+		o.outstanding = false
+	}
+	start := time.Now()
+	b, err := o.op.Next()
+	if o.st != nil {
+		o.st.Nanos.Add(int64(time.Since(start)))
+	}
+	if b != nil {
+		if o.st != nil {
+			o.st.Batches.Add(1)
+			o.st.Rows.Add(int64(b.N))
+		}
+		if o.fl != nil {
+			o.fl.Inc()
+			o.outstanding = true
+		}
+	}
+	return b, err
+}
+
+func (o *instrumented) Close() error {
+	if o.outstanding {
+		o.fl.Dec()
+		o.outstanding = false
+	}
+	start := time.Now()
+	err := o.op.Close()
+	if o.st != nil {
+		o.st.Nanos.Add(int64(time.Since(start)))
+	}
+	return err
+}

@@ -68,29 +68,11 @@ func (s *Scanner) ScanSegment(seg *storage.Segment, emit func(*Batch) error) err
 		return fmt.Errorf("exec: segment width %d, scanner width %d", seg.Schema.Len(), s.width)
 	}
 	for bi := 0; bi < seg.NumBlocks(); bi++ {
-		if s.pruned(seg, bi) {
-			s.stats.BlocksSkipped.Add(int64(len(s.needCols)))
-			continue
-		}
-		batch := NewBatch(s.width)
-		for _, c := range s.needCols {
-			blk := seg.Block(c, bi)
-			v, err := s.decode(blk)
-			if err != nil {
-				return err
-			}
-			batch.Cols[c] = v
-			batch.N = v.Len()
-			s.stats.BlocksRead.Add(1)
-			s.stats.BytesRead.Add(blk.ByteSize())
-		}
-		s.stats.RowsRead.Add(int64(batch.N))
-		out, err := s.filter.Apply(batch)
+		out, err := s.ScanBlock(seg, bi)
 		if err != nil {
 			return err
 		}
-		s.stats.RowsEmitted.Add(int64(out.N))
-		if out.N == 0 {
+		if out == nil {
 			continue
 		}
 		if err := emit(out); err != nil {
@@ -98,6 +80,38 @@ func (s *Scanner) ScanSegment(seg *storage.Segment, emit func(*Batch) error) err
 		}
 	}
 	return nil
+}
+
+// ScanBlock reads one block row-group: zone-map pruning, decode of the
+// needed columns, pushed-down filter. Returns nil when the block is pruned
+// or no row survives — the unit of work one ScanOp.Next pull performs.
+func (s *Scanner) ScanBlock(seg *storage.Segment, bi int) (*Batch, error) {
+	if s.pruned(seg, bi) {
+		s.stats.BlocksSkipped.Add(int64(len(s.needCols)))
+		return nil, nil
+	}
+	batch := NewBatch(s.width)
+	for _, c := range s.needCols {
+		blk := seg.Block(c, bi)
+		v, err := s.decode(blk)
+		if err != nil {
+			return nil, err
+		}
+		batch.Cols[c] = v
+		batch.N = v.Len()
+		s.stats.BlocksRead.Add(1)
+		s.stats.BytesRead.Add(blk.ByteSize())
+	}
+	s.stats.RowsRead.Add(int64(batch.N))
+	out, err := s.filter.Apply(batch)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.RowsEmitted.Add(int64(out.N))
+	if out.N == 0 {
+		return nil, nil
+	}
+	return out, nil
 }
 
 // pruned reports whether every predicate range excludes block bi.

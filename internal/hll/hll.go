@@ -104,6 +104,10 @@ func (s *Sketch) Estimate() int64 {
 	return int64(est + 0.5)
 }
 
+// ByteSize is the sketch's serialized size: constant regardless of
+// cardinality, which is the whole point of approximate distinct (§4).
+func (s *Sketch) ByteSize() int64 { return m }
+
 // Marshal serializes the sketch for shipment from slices to the leader.
 func (s *Sketch) Marshal() []byte {
 	out := make([]byte, m)

@@ -95,7 +95,10 @@ func (b *binder) addTable(ref *sql.TableRef) (*TableScan, error) {
 		last := b.plan.Tables[n-1]
 		base = last.BaseCol + len(last.Def.Columns)
 	}
-	scan := &TableScan{Def: def, Alias: ref.Alias, BaseCol: base}
+	scan := &TableScan{Def: def, Alias: ref.Alias, BaseCol: base, EstRows: -1}
+	if stats, err := b.cat.Stats(def.ID); err == nil {
+		scan.EstRows = stats.Rows
+	}
 	b.plan.Tables = append(b.plan.Tables, scan)
 	b.refNames = append(b.refNames, name)
 	return scan, nil

@@ -64,6 +64,9 @@ type TableScan struct {
 	// NeedCols lists the table-local columns the query reads, ascending.
 	// Unused columns are never decoded (late materialization).
 	NeedCols []int
+	// EstRows is the statistics row-count estimate (-1 when the table has
+	// never been ANALYZEd), used for physical-plan annotations.
+	EstRows int64
 }
 
 // JoinStep joins the accumulated left side with one more table.
@@ -153,72 +156,10 @@ func (p *Plan) Schema() types.Schema {
 	return types.NewSchema(cols...)
 }
 
-// Explain renders the plan in a Redshift-flavored indented tree.
+// Explain renders the plan as its lowered physical operator tree — what
+// the executor actually runs — in a Redshift-flavored indented style.
 func (p *Plan) Explain() string {
-	var b strings.Builder
-	indent := 0
-	line := func(format string, args ...interface{}) {
-		b.WriteString(strings.Repeat("  ", indent))
-		fmt.Fprintf(&b, format, args...)
-		b.WriteByte('\n')
-	}
-	if p.Limit >= 0 {
-		line("XN Limit (rows=%d)", p.Limit)
-		indent++
-	}
-	if len(p.OrderBy) > 0 {
-		keys := make([]string, len(p.OrderBy))
-		for i, k := range p.OrderBy {
-			dir := "asc"
-			if k.Desc {
-				dir = "desc"
-			}
-			keys[i] = fmt.Sprintf("%s %s", p.FieldNames[k.Index], dir)
-		}
-		line("XN Merge (order by: %s)", strings.Join(keys, ", "))
-		indent++
-	}
-	if p.Distinct {
-		line("XN Unique")
-		indent++
-	}
-	if p.HasAgg {
-		aggs := make([]string, len(p.Aggs))
-		for i, a := range p.Aggs {
-			aggs[i] = a.String()
-		}
-		if len(p.GroupBy) > 0 {
-			groups := make([]string, len(p.GroupBy))
-			for i, g := range p.GroupBy {
-				groups[i] = g.String()
-			}
-			line("XN HashAggregate (groups: %s) [%s]", strings.Join(groups, ", "), strings.Join(aggs, ", "))
-		} else {
-			line("XN Aggregate [%s]", strings.Join(aggs, ", "))
-		}
-		indent++
-	}
-	if p.Where != nil {
-		line("XN Filter: %s", p.Where)
-		indent++
-	}
-	for i := len(p.Joins) - 1; i >= 0; i-- {
-		j := p.Joins[i]
-		kind := "Hash Join"
-		if j.Kind == sql.LeftJoin {
-			kind = "Hash Left Join"
-		}
-		keys := make([]string, len(j.LeftKeys))
-		for k := range j.LeftKeys {
-			keys[k] = fmt.Sprintf("%s = %s", j.LeftKeys[k], j.RightKeys[k])
-		}
-		line("XN %s %s (%s)", kind, j.Strategy, strings.Join(keys, " AND "))
-		indent++
-		scan := p.Tables[j.Right]
-		line("-> XN Seq Scan on %s%s", scan.Def.Name, scanDetail(scan))
-	}
-	line("-> XN Seq Scan on %s%s", p.Tables[0].Def.Name, scanDetail(p.Tables[0]))
-	return b.String()
+	return BuildPhysical(p).Explain()
 }
 
 func scanDetail(s *TableScan) string {

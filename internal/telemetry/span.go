@@ -61,6 +61,18 @@ func (s *Span) End() {
 	s.mu.Unlock()
 }
 
+// SetDuration fixes the span's duration explicitly — used when a span is
+// reconstructed from operator-collected timings rather than timed live.
+func (s *Span) SetDuration(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.dur = d
+	s.ended = true
+	s.mu.Unlock()
+}
+
 // Add accumulates delta into the named attribute, creating it at zero.
 func (s *Span) Add(key string, delta int64) {
 	if s == nil {

@@ -112,6 +112,89 @@ func (v *Vector) Get(i int) Value {
 	}
 }
 
+// Gather returns a new vector holding the values at the selected positions,
+// in selection order, copying payload slices directly instead of boxing each
+// value through Value. A negative position yields SQL NULL — the hash join's
+// null-extension for unmatched left rows.
+func (v *Vector) Gather(sel []int) *Vector {
+	out := &Vector{T: v.T}
+	n := len(sel)
+	masked := v.Nulls != nil
+	if !masked {
+		for _, i := range sel {
+			if i < 0 {
+				masked = true
+				break
+			}
+		}
+	}
+	if masked {
+		out.Nulls = make([]bool, n)
+	}
+	switch v.T {
+	case Float64:
+		out.Floats = make([]float64, n)
+		for o, i := range sel {
+			if i < 0 {
+				out.Nulls[o] = true
+				continue
+			}
+			out.Floats[o] = v.Floats[i]
+			if v.Nulls != nil {
+				out.Nulls[o] = v.Nulls[i]
+			}
+		}
+	case String:
+		out.Strs = make([]string, n)
+		for o, i := range sel {
+			if i < 0 {
+				out.Nulls[o] = true
+				continue
+			}
+			out.Strs[o] = v.Strs[i]
+			if v.Nulls != nil {
+				out.Nulls[o] = v.Nulls[i]
+			}
+		}
+	default:
+		out.Ints = make([]int64, n)
+		for o, i := range sel {
+			if i < 0 {
+				out.Nulls[o] = true
+				continue
+			}
+			out.Ints[o] = v.Ints[i]
+			if v.Nulls != nil {
+				out.Nulls[o] = v.Nulls[i]
+			}
+		}
+	}
+	return out
+}
+
+// AppendFrom appends src's position i without boxing through Value. The
+// vector types must match.
+func (v *Vector) AppendFrom(src *Vector, i int) {
+	if src.T != v.T {
+		panic(fmt.Sprintf("types: appending from %s to %s vector", src.T, v.T))
+	}
+	if src.IsNull(i) {
+		v.AppendNull()
+		return
+	}
+	switch v.T {
+	case Float64:
+		v.Floats = append(v.Floats, src.Floats[i])
+	case String:
+		v.Strs = append(v.Strs, src.Strs[i])
+	default:
+		v.Ints = append(v.Ints, src.Ints[i])
+	}
+	if v.Nulls != nil {
+		v.Nulls = append(v.Nulls, false)
+	}
+}
+
 // Slice returns a view of positions [lo, hi). The view shares storage.
 func (v *Vector) Slice(lo, hi int) *Vector {
 	out := &Vector{T: v.T}
