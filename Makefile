@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench
+.PHONY: build test race bench bench-scan
 
 build:
 	$(GO) build ./...
@@ -9,10 +9,16 @@ test: build
 	$(GO) test ./...
 
 # Vet plus race-detector runs over the packages with the most concurrency:
-# the distributed cluster, the query engine, and the telemetry registry.
+# the distributed cluster, the query engine and its operators, the shared
+# block cache, and the telemetry registry.
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/cluster ./internal/core ./internal/telemetry
+	$(GO) test -race ./internal/cluster ./internal/core ./internal/exec ./internal/storage ./internal/telemetry
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# One-iteration scan-path benchmarks: a CI smoke check that the cache and
+# late-materialization paths stay runnable (BENCH_scan.json has real runs).
+bench-scan:
+	$(GO) test -bench 'ScanHotCold|FilterSelectivity' -benchtime 1x -run '^$$' .

@@ -420,13 +420,13 @@ func TestFleetPatcherValidation(t *testing.T) {
 
 func TestWorkflowFamily(t *testing.T) {
 	cases := map[string]string{
-		"provision-16":    "provision",
-		"resize-2-to-16":  "resize",
-		"patch-8":         "patch",
-		"rollback-8":      "rollback",
-		"connect":         "connect",
-		"replace-node":    "replace-node",
-		"backup-128":      "backup",
+		"provision-16":   "provision",
+		"resize-2-to-16": "resize",
+		"patch-8":        "patch",
+		"rollback-8":     "rollback",
+		"connect":        "connect",
+		"replace-node":   "replace-node",
+		"backup-128":     "backup",
 	}
 	for in, want := range cases {
 		if got := workflowFamily(in); got != want {

@@ -47,6 +47,9 @@ type Config struct {
 	Metrics *telemetry.Registry
 	// QueryLogSize caps the stl_query ring buffer (default 1024).
 	QueryLogSize int
+	// BlockCacheBytes budgets the node-level decoded-block buffer cache.
+	// 0 means the default (64 MiB); negative disables the cache.
+	BlockCacheBytes int64
 }
 
 // Database is one warehouse cluster's SQL engine.
@@ -63,6 +66,10 @@ type Database struct {
 	metrics    *telemetry.Registry
 	qlog       *telemetry.QueryLog
 	sliceStats []sliceStat
+
+	// cache holds decoded column vectors across queries; nil when the
+	// cache is disabled (every method on it is nil-receiver safe).
+	cache *storage.BlockCache
 
 	// ddlMu serializes DDL and utility statements.
 	ddlMu sync.Mutex
@@ -129,6 +136,9 @@ func Open(cfg Config) (*Database, error) {
 	if cfg.QueryLogSize <= 0 {
 		cfg.QueryLogSize = 1024
 	}
+	if cfg.BlockCacheBytes == 0 {
+		cfg.BlockCacheBytes = 64 << 20
+	}
 	cl, err := cluster.New(cfg.Cluster)
 	if err != nil {
 		return nil, err
@@ -143,8 +153,12 @@ func Open(cfg Config) (*Database, error) {
 		metrics:    cfg.Metrics,
 		qlog:       telemetry.NewQueryLog(cfg.QueryLogSize),
 		sliceStats: make([]sliceStat, cl.NumSlices()),
+		cache:      storage.NewBlockCache(cfg.BlockCacheBytes),
 	}, nil
 }
+
+// BlockCache exposes the decoded-block buffer cache (nil when disabled).
+func (db *Database) BlockCache() *storage.BlockCache { return db.cache }
 
 // Telemetry exposes the database's metrics registry.
 func (db *Database) Telemetry() *telemetry.Registry { return db.metrics }
@@ -177,6 +191,8 @@ func (db *Database) AdoptCatalog(cat *catalog.Catalog) {
 	db.ddlMu.Lock()
 	defer db.ddlMu.Unlock()
 	db.cat = cat
+	// Whatever was cached belonged to the pre-restore world.
+	db.cache.Clear()
 }
 
 // Execute parses and runs one SQL statement with auto-commit.
@@ -304,6 +320,7 @@ func (db *Database) runDropTable(s *sql.DropTable) (*Result, error) {
 		return nil, err
 	}
 	db.cl.DropTable(def.ID)
+	db.cache.InvalidateTable(def.ID)
 	return &Result{Message: "DROP TABLE"}, nil
 }
 
@@ -333,6 +350,7 @@ func (db *Database) runTruncate(s *sql.Truncate) (*Result, error) {
 		return nil, err
 	}
 	db.cl.PruneDropped(db.txm.OldestActiveSnapshot())
+	db.cache.InvalidateTable(def.ID)
 	if err := db.cat.ReplaceStats(def.ID, catalog.TableStats{Cols: make([]catalog.ColumnStats, len(def.Columns))}); err != nil {
 		return nil, err
 	}
@@ -553,6 +571,9 @@ func (db *Database) vacuumTable(def *catalog.TableDef) error {
 		return err
 	}
 	db.cl.PruneDropped(db.txm.OldestActiveSnapshot())
+	// VACUUM rebuilds each slice as a fresh Seq-0 segment, reusing block
+	// identities with new content — the cached decodes are stale.
+	db.cache.InvalidateTable(def.ID)
 	stats, err := db.cat.Stats(def.ID)
 	if err != nil {
 		return err

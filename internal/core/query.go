@@ -127,6 +127,13 @@ func (db *Database) recordQuery(s *sql.Select, start time.Time, queueWait, planT
 	m.Histogram("query_seconds").Observe(time.Since(start).Seconds())
 	m.Histogram("query_plan_seconds").Observe(planTime.Seconds())
 	m.Histogram("query_queue_seconds").Observe(queueWait.Seconds())
+
+	cs := db.cache.Stats()
+	m.Gauge("block_cache_hits").Set(cs.Hits)
+	m.Gauge("block_cache_misses").Set(cs.Misses)
+	m.Gauge("block_cache_evictions").Set(cs.Evictions)
+	m.Gauge("block_cache_bytes").Set(cs.Bytes)
+	m.Gauge("block_cache_budget_bytes").Set(cs.Budget)
 }
 
 // runLeaderSelect evaluates a FROM-less SELECT entirely at the leader —
@@ -482,6 +489,7 @@ func (q *queryRun) scanOp(n *plan.PhysNode, statSlice int) (exec.Operator, error
 	if err != nil {
 		return nil, err
 	}
+	sc.SetCache(q.db.cache)
 	segs := q.db.cl.VisibleSegments(statSlice, n.Scan.Def.ID, q.snapshot)
 	return q.wrap(exec.NewScanOp(sc, segs), n), nil
 }
@@ -597,6 +605,8 @@ func (q *queryRun) foldScanStats() {
 			q.scans.RowsEmitted.Add(inst.stats.RowsEmitted.Load())
 			q.scans.PageFaults.Add(inst.stats.PageFaults.Load())
 			q.scans.BytesRead.Add(by)
+			q.scans.CacheHits.Add(inst.stats.CacheHits.Load())
+			q.scans.CacheMisses.Add(inst.stats.CacheMisses.Load())
 
 			st := &q.db.sliceStats[inst.slice]
 			st.scans.Add(1)
@@ -630,10 +640,14 @@ func (q *queryRun) emitSpans() {
 				child.Add("blocks_read", inst.stats.BlocksRead.Load())
 				child.Add("blocks_skipped", inst.stats.BlocksSkipped.Load())
 				child.Add("bytes", inst.stats.BytesRead.Load())
+				child.Add("cache_hits", inst.stats.CacheHits.Load())
+				child.Add("cache_misses", inst.stats.CacheMisses.Load())
 				child.SetDuration(0)
 				sp.Add("blocks_read", inst.stats.BlocksRead.Load())
 				sp.Add("blocks_skipped", inst.stats.BlocksSkipped.Load())
 				sp.Add("bytes", inst.stats.BytesRead.Load())
+				sp.Add("cache_hits", inst.stats.CacheHits.Load())
+				sp.Add("cache_misses", inst.stats.CacheMisses.Load())
 			}
 		case plan.PhysPartialAgg:
 			for sl := range q.aggGroups {

@@ -95,6 +95,28 @@ var systemTables = []systemTable{
 			return rows
 		},
 	},
+	{
+		name: "stv_block_cache",
+		cols: []catalog.ColumnDef{
+			{Name: "hits", Type: types.Int64},
+			{Name: "misses", Type: types.Int64},
+			{Name: "evictions", Type: types.Int64},
+			{Name: "bytes_cached", Type: types.Int64},
+			{Name: "budget_bytes", Type: types.Int64},
+			{Name: "entries", Type: types.Int64},
+		},
+		rows: func(db *Database) []types.Row {
+			cs := db.cache.Stats()
+			return []types.Row{{
+				types.NewInt(cs.Hits),
+				types.NewInt(cs.Misses),
+				types.NewInt(cs.Evictions),
+				types.NewInt(cs.Bytes),
+				types.NewInt(cs.Budget),
+				types.NewInt(cs.Entries),
+			}}
+		},
+	},
 }
 
 // isSystemTable reports whether name is a leader-resolved system table.

@@ -9,6 +9,7 @@ package exec
 
 import (
 	"fmt"
+	"sync"
 
 	"redshift/internal/types"
 )
@@ -29,6 +30,42 @@ func NewBatch(width int) *Batch {
 	return &Batch{Cols: make([]*types.Vector, width)}
 }
 
+// batchPool recycles Batch structs and their Cols slices through the
+// streaming operator chain, so steady-state scans stop allocating one
+// batch header per block. Vectors are never pooled — only the wrapper.
+var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+
+// GetBatch returns an empty pooled batch with the given layout width.
+func GetBatch(width int) *Batch {
+	b := batchPool.Get().(*Batch)
+	if cap(b.Cols) < width {
+		b.Cols = make([]*types.Vector, width)
+	} else {
+		b.Cols = b.Cols[:width]
+		for i := range b.Cols {
+			b.Cols[i] = nil
+		}
+	}
+	b.N = 0
+	return b
+}
+
+// PutBatch releases a batch to the pool. Callers must be the batch's
+// sole owner: an operator may release only input batches it consumed
+// itself, never a batch that was broadcast or that it passed through.
+// Column vectors are not recycled, so vectors gathered out of b (or
+// aliased by a projection) stay valid after the release.
+func PutBatch(b *Batch) {
+	if b == nil {
+		return
+	}
+	for i := range b.Cols {
+		b.Cols[i] = nil
+	}
+	b.N = 0
+	batchPool.Put(b)
+}
+
 // Row boxes row i into a types.Row (nil columns yield zero Values). Used by
 // the interpreted engine and by the leader when rendering results.
 func (b *Batch) Row(i int) types.Row {
@@ -42,8 +79,9 @@ func (b *Batch) Row(i int) types.Row {
 }
 
 // Gather returns a new batch holding the selected row positions, in order.
+// The batch comes from the pool; vectors are freshly allocated copies.
 func (b *Batch) Gather(sel []int) *Batch {
-	out := NewBatch(len(b.Cols))
+	out := GetBatch(len(b.Cols))
 	out.N = len(sel)
 	for c, v := range b.Cols {
 		if v == nil {

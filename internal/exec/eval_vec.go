@@ -626,7 +626,12 @@ func compileCall(x *plan.Call) (VecFn, error) {
 // SelectTrue returns the positions where a boolean vector is true
 // (NULL counts as false, per WHERE semantics).
 func SelectTrue(v *types.Vector) []int {
-	out := make([]int, 0, len(v.Ints))
+	return SelectTrueInto(v, make([]int, 0, len(v.Ints)))
+}
+
+// SelectTrueInto appends the true positions to out, letting hot scan
+// loops reuse one selection buffer instead of allocating per block.
+func SelectTrueInto(v *types.Vector, out []int) []int {
 	for i, n := range v.Ints {
 		if n != 0 && !v.IsNull(i) {
 			out = append(out, i)

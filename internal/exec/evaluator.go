@@ -92,18 +92,32 @@ func NewFilter(mode Mode, pred plan.Expr) (*Filter, error) {
 
 // Apply filters the batch; with no predicate it passes the batch through.
 func (f *Filter) Apply(b *Batch) (*Batch, error) {
-	if f.ev == nil || b.N == 0 {
-		return b, nil
-	}
-	v, err := f.ev.Eval(b)
+	sel, all, err := f.Select(b, nil)
 	if err != nil {
 		return nil, err
 	}
-	sel := SelectTrue(v)
-	if len(sel) == b.N {
+	if all {
 		return b, nil
 	}
 	return b.Gather(sel), nil
+}
+
+// Select evaluates the predicate and returns the passing row positions
+// appended to sel (which may be nil or a reused buffer sliced to zero
+// length). all reports that every row passed, in which case the returned
+// selection must not be used — the batch stands as-is. This is the
+// late-materialization entry point: the scan evaluates the filter before
+// deciding which remaining columns to decode.
+func (f *Filter) Select(b *Batch, sel []int) ([]int, bool, error) {
+	if f.ev == nil || b.N == 0 {
+		return sel, true, nil
+	}
+	v, err := f.ev.Eval(b)
+	if err != nil {
+		return sel, false, err
+	}
+	sel = SelectTrueInto(v, sel)
+	return sel, len(sel) == b.N, nil
 }
 
 // Projector computes output columns from input batches.

@@ -78,14 +78,17 @@ func (e *Exchange) Err() error {
 // Send delivers one batch from src to dst, blocking while dst's buffer is
 // full (backpressure) and failing once the exchange is aborted.
 func (e *Exchange) Send(src, dst int, b *Batch) error {
+	// Account before the channel op: ownership passes to the consumer the
+	// moment the send succeeds, and a released batch must not be read.
+	// (An aborted send over-accounts one batch; the query failed anyway.)
+	if e.account != nil {
+		e.account(src, dst, b)
+	}
 	// Inc before the channel op so the consumer's Dec can never observe the
 	// batch before it was counted.
 	e.fl.Inc()
 	select {
 	case e.chans[src][dst] <- b:
-		if e.account != nil {
-			e.account(src, dst, b)
-		}
 		return nil
 	case <-e.done:
 		e.fl.Dec()

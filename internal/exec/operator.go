@@ -116,8 +116,16 @@ func (o *FilterOp) Next() (*Batch, error) {
 		if err != nil {
 			return nil, err
 		}
+		if fb != b {
+			// The gather copied the surviving rows; the input batch is
+			// consumed and this operator is its sole owner.
+			PutBatch(b)
+		}
 		if fb.N > 0 {
 			return fb, nil
+		}
+		if fb != b {
+			PutBatch(fb)
 		}
 	}
 }
@@ -200,9 +208,15 @@ func (o *HashJoinOp) Next() (*Batch, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Probe assembled a fresh batch (columns are gathered copies), so
+		// the probe input is consumed here. Build-side batches are NOT
+		// released anywhere: a broadcast exchange shares one batch across
+		// every consumer slice.
+		PutBatch(b)
 		if joined.N > 0 {
 			return joined, nil
 		}
+		PutBatch(joined)
 	}
 }
 
@@ -239,6 +253,9 @@ func (o *PartialAggOp) Next() (*Batch, error) {
 		if err := o.gt.Consume(b); err != nil {
 			return nil, err
 		}
+		// Consume copies values into accumulator states; the batch is
+		// spent and this breaker is its sole owner.
+		PutBatch(b)
 	}
 }
 
@@ -292,8 +309,11 @@ func (o *StreamDistinctOp) Next() (*Batch, error) {
 			return b, nil
 		}
 		if len(sel) > 0 {
-			return b.Gather(sel), nil
+			out := b.Gather(sel)
+			PutBatch(b)
+			return out, nil
 		}
+		PutBatch(b)
 	}
 }
 
@@ -334,6 +354,8 @@ func (o *TopNOp) Next() (*Batch, error) {
 		if err := merged.Concat(b); err != nil {
 			return nil, err
 		}
+		// Concat copied the rows; the streamed batch is spent.
+		PutBatch(b)
 	}
 	merged = SortBatch(merged, o.keys)
 	return TopN(merged, o.limit), nil

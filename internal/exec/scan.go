@@ -16,26 +16,40 @@ import (
 type BlockFetcher func(b *storage.Block) error
 
 // ScanStats counts block skipping effectiveness, the quantity behind the
-// zone-map ablation (A2).
+// zone-map ablation (A2), plus the buffer-cache and decode accounting.
 type ScanStats struct {
+	// BlocksRead counts blocks materialized into batches, whether decoded
+	// or served from the buffer cache.
 	BlocksRead    atomic.Int64
 	BlocksSkipped atomic.Int64
 	RowsRead      atomic.Int64
 	RowsEmitted   atomic.Int64
 	PageFaults    atomic.Int64
-	// BytesRead is the compressed on-disk size of the blocks decoded.
+	// BytesRead is the compressed on-disk size of the blocks actually
+	// decoded; cache hits and predicate-skipped columns add nothing.
 	BytesRead atomic.Int64
+	// CacheHits/CacheMisses count buffer-cache lookups by this scan.
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
 }
 
-// Scanner reads one table's segments on one slice: zone-map pruning first,
-// then decode of only the needed columns, then the pushed-down filter.
+// Scanner reads one table's segments on one slice: zone-map pruning
+// first, then predicate-first late materialization — decode only the
+// filter's input columns, evaluate to a selection, and decode the rest
+// only when rows survive. A Scanner instance is driven by one goroutine,
+// so its scratch buffers need no locking.
 type Scanner struct {
-	width    int
-	needCols []int
-	ranges   []plan.ColRange
-	filter   *Filter
-	fetch    BlockFetcher
-	stats    *ScanStats
+	width      int
+	needCols   []int // filter columns first, then the rest
+	filterCols []int // the filter's input columns (prefix of needCols)
+	restCols   []int // needCols minus filterCols
+	ranges     []plan.ColRange
+	filter     *Filter
+	fetch      BlockFetcher
+	stats      *ScanStats
+	cache      *storage.BlockCache
+
+	selbuf []int // reusable selection buffer
 }
 
 // NewScanner prepares a scan. stats may be shared across slices; fetch may
@@ -48,15 +62,35 @@ func NewScanner(mode Mode, scan *plan.TableScan, fetch BlockFetcher, stats *Scan
 	if stats == nil {
 		stats = &ScanStats{}
 	}
-	return &Scanner{
+	s := &Scanner{
 		width:    len(scan.Def.Columns),
 		needCols: scan.NeedCols,
 		ranges:   scan.Ranges,
 		filter:   filter,
 		fetch:    fetch,
 		stats:    stats,
-	}, nil
+	}
+	// Split needCols into the filter's inputs and the rest. The binder
+	// orders filter columns first, but recompute here so hand-built specs
+	// (tests, tools) behave identically.
+	if scan.Filter != nil {
+		inFilter := map[int]bool{}
+		plan.ColsUsed(scan.Filter, inFilter)
+		for _, c := range s.needCols {
+			if inFilter[c] {
+				s.filterCols = append(s.filterCols, c)
+			} else {
+				s.restCols = append(s.restCols, c)
+			}
+		}
+	} else {
+		s.restCols = s.needCols
+	}
+	return s, nil
 }
+
+// SetCache attaches a decoded-block buffer cache (nil disables).
+func (s *Scanner) SetCache(c *storage.BlockCache) { s.cache = c }
 
 // Stats exposes the scan counters.
 func (s *Scanner) Stats() *ScanStats { return s.stats }
@@ -82,36 +116,99 @@ func (s *Scanner) ScanSegment(seg *storage.Segment, emit func(*Batch) error) err
 	return nil
 }
 
-// ScanBlock reads one block row-group: zone-map pruning, decode of the
-// needed columns, pushed-down filter. Returns nil when the block is pruned
+// ScanBlock reads one block row-group: zone-map pruning, then filter
+// columns only, then — when rows survive — the remaining needed columns,
+// compacted with a single gather. Returns nil when the block is pruned
 // or no row survives — the unit of work one ScanOp.Next pull performs.
+// Emitted batches come from the batch pool; the consumer owns them.
 func (s *Scanner) ScanBlock(seg *storage.Segment, bi int) (*Batch, error) {
 	if s.pruned(seg, bi) {
 		s.stats.BlocksSkipped.Add(int64(len(s.needCols)))
 		return nil, nil
 	}
-	batch := NewBatch(s.width)
-	for _, c := range s.needCols {
-		blk := seg.Block(c, bi)
-		v, err := s.decode(blk)
-		if err != nil {
+	// Column chains are row-aligned, so any column's block metadata gives
+	// the row count — before anything is decoded.
+	nrows := seg.Block(0, bi).Rows
+	s.stats.RowsRead.Add(int64(nrows))
+
+	// A row-count-only scan (COUNT(*) with no filter) is served entirely
+	// from block metadata: no column is ever decoded.
+	if len(s.needCols) == 0 {
+		s.stats.RowsEmitted.Add(int64(nrows))
+		b := GetBatch(s.width)
+		b.N = nrows
+		return b, nil
+	}
+
+	batch := GetBatch(s.width)
+	batch.N = nrows
+	for _, c := range s.filterCols {
+		if err := s.materialize(seg, c, bi, batch); err != nil {
+			PutBatch(batch)
 			return nil, err
 		}
-		batch.Cols[c] = v
-		batch.N = v.Len()
-		s.stats.BlocksRead.Add(1)
-		s.stats.BytesRead.Add(blk.ByteSize())
 	}
-	s.stats.RowsRead.Add(int64(batch.N))
-	out, err := s.filter.Apply(batch)
+
+	// Evaluate the predicate over the filter columns alone.
+	sel, all, err := s.filter.Select(batch, s.selbuf[:0])
 	if err != nil {
+		PutBatch(batch)
 		return nil, err
+	}
+	s.selbuf = sel[:0]
+	if !all && len(sel) == 0 {
+		// Nothing survives: the non-filter columns are never decoded.
+		PutBatch(batch)
+		return nil, nil
+	}
+
+	for _, c := range s.restCols {
+		if err := s.materialize(seg, c, bi, batch); err != nil {
+			PutBatch(batch)
+			return nil, err
+		}
+	}
+
+	out := batch
+	if !all {
+		out = batch.Gather(sel)
+		PutBatch(batch)
 	}
 	s.stats.RowsEmitted.Add(int64(out.N))
 	if out.N == 0 {
+		PutBatch(out)
 		return nil, nil
 	}
 	return out, nil
+}
+
+// materialize installs column c of block bi into the batch, from the
+// buffer cache when possible, decoding (and page-faulting) otherwise.
+func (s *Scanner) materialize(seg *storage.Segment, c, bi int, batch *Batch) error {
+	blk := seg.Block(c, bi)
+	if v, ok := s.cache.Get(blk.ID); ok {
+		// Hand out a capacity-clamped view: cached vectors are shared
+		// across queries and must never be appended to in place.
+		batch.Cols[c] = v.View()
+		s.stats.BlocksRead.Add(1)
+		s.stats.CacheHits.Add(1)
+		return nil
+	}
+	if s.cache != nil {
+		s.stats.CacheMisses.Add(1)
+	}
+	v, err := s.decode(blk)
+	if err != nil {
+		return err
+	}
+	s.stats.BlocksRead.Add(1)
+	s.stats.BytesRead.Add(blk.ByteSize())
+	if s.cache != nil {
+		s.cache.Put(blk.ID, v)
+		v = v.View()
+	}
+	batch.Cols[c] = v
+	return nil
 }
 
 // pruned reports whether every predicate range excludes block bi.

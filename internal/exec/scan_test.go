@@ -210,3 +210,130 @@ func TestCompiledFloatAndStringComparisons(t *testing.T) {
 		t.Errorf("string <>: %v", v.Ints)
 	}
 }
+
+func TestScannerPredicateShortCircuit(t *testing.T) {
+	seg, def := buildSegment(t, 160) // 10 blocks of 16
+	spec := scanSpec(def, 20)
+	spec.Ranges = nil // disable zone maps; only the predicate can save work
+	sc, err := NewScanner(Compiled, spec, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows int
+	if err := sc.ScanSegment(seg, func(b *Batch) error {
+		rows += b.N
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 20 {
+		t.Errorf("emitted %d rows, want 20", rows)
+	}
+	st := sc.Stats()
+	// The filter column (ts) decodes in all 10 blocks; v decodes only in
+	// the 2 blocks with surviving rows — the other 8 short-circuit.
+	if st.BlocksRead.Load() != 12 {
+		t.Errorf("BlocksRead = %d, want 12", st.BlocksRead.Load())
+	}
+	if st.BlocksSkipped.Load() != 0 {
+		t.Errorf("BlocksSkipped = %d (zone maps were off)", st.BlocksSkipped.Load())
+	}
+
+	// The same scan with eager materialization would decode 20 blocks; the
+	// byte accounting must show only 12 were paid for.
+	var full int64
+	for c := 0; c < 2; c++ {
+		for bi := 0; bi < seg.NumBlocks(); bi++ {
+			full += seg.Block(c, bi).ByteSize()
+		}
+	}
+	if st.BytesRead.Load() >= full {
+		t.Errorf("BytesRead = %d, want < full decode %d", st.BytesRead.Load(), full)
+	}
+}
+
+func TestScannerBufferCache(t *testing.T) {
+	seg, def := buildSegment(t, 64)
+	spec := scanSpec(def, 1000)
+	spec.Filter, spec.Ranges = nil, nil
+	cache := storage.NewBlockCache(1 << 20)
+
+	runScan := func() (*ScanStats, []int64) {
+		sc, err := NewScanner(Compiled, spec, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.SetCache(cache)
+		var got []int64
+		if err := sc.ScanSegment(seg, func(b *Batch) error {
+			for i := 0; i < b.N; i++ {
+				got = append(got, b.Cols[0].Ints[i])
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return sc.Stats(), got
+	}
+
+	cold, rows1 := runScan()
+	if cold.CacheHits.Load() != 0 || cold.CacheMisses.Load() != 8 {
+		t.Errorf("cold hits/misses = %d/%d, want 0/8",
+			cold.CacheHits.Load(), cold.CacheMisses.Load())
+	}
+	if cold.BytesRead.Load() == 0 {
+		t.Error("cold scan decoded nothing")
+	}
+
+	warm, rows2 := runScan()
+	if warm.CacheHits.Load() != 8 || warm.CacheMisses.Load() != 0 {
+		t.Errorf("warm hits/misses = %d/%d, want 8/0",
+			warm.CacheHits.Load(), warm.CacheMisses.Load())
+	}
+	if warm.BytesRead.Load() != 0 {
+		t.Errorf("warm scan decoded %d bytes, want 0", warm.BytesRead.Load())
+	}
+	if warm.BlocksRead.Load() != cold.BlocksRead.Load() {
+		t.Errorf("BlocksRead cold %d != warm %d (hits still materialize)",
+			cold.BlocksRead.Load(), warm.BlocksRead.Load())
+	}
+	if len(rows1) != len(rows2) {
+		t.Fatalf("row counts differ: %d vs %d", len(rows1), len(rows2))
+	}
+	for i := range rows1 {
+		if rows1[i] != rows2[i] {
+			t.Fatalf("row %d differs: %d vs %d", i, rows1[i], rows2[i])
+		}
+	}
+}
+
+func TestScannerMetadataOnlyScan(t *testing.T) {
+	seg, def := buildSegment(t, 48)
+	spec := &plan.TableScan{Def: def, NeedCols: nil} // COUNT(*) shape
+	sc, err := NewScanner(Compiled, spec, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evict every block: a metadata-only scan must not even notice.
+	seg.Blocks(func(b *storage.Block) { b.Evict() })
+	rows := 0
+	if err := sc.ScanSegment(seg, func(b *Batch) error {
+		for _, c := range b.Cols {
+			if c != nil {
+				return errors.New("metadata-only scan materialized a column")
+			}
+		}
+		rows += b.N
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 48 {
+		t.Errorf("rows = %d, want 48", rows)
+	}
+	st := sc.Stats()
+	if st.BlocksRead.Load() != 0 || st.BytesRead.Load() != 0 {
+		t.Errorf("metadata scan read %d blocks / %d bytes, want 0/0",
+			st.BlocksRead.Load(), st.BytesRead.Load())
+	}
+}

@@ -521,17 +521,27 @@ func (b *binder) pruneColumns() {
 				}
 			}
 		}
+		// Filter input columns come first so the scan can evaluate the
+		// pushed-down predicate before materializing anything else
+		// (predicate-first late materialization).
+		inFilter := map[int]bool{}
+		if scan.Filter != nil {
+			colsUsed(scan.Filter, inFilter)
+		}
 		scan.NeedCols = scan.NeedCols[:0]
 		for c := 0; c < len(scan.Def.Columns); c++ {
-			if local[c] {
+			if local[c] && inFilter[c] {
 				scan.NeedCols = append(scan.NeedCols, c)
 			}
 		}
-		// A scan that feeds only COUNT(*) still needs one column to count
-		// rows with; pick the first.
-		if len(scan.NeedCols) == 0 {
-			scan.NeedCols = []int{0}
+		for c := 0; c < len(scan.Def.Columns); c++ {
+			if local[c] && !inFilter[c] {
+				scan.NeedCols = append(scan.NeedCols, c)
+			}
 		}
+		// A scan that feeds only COUNT(*) keeps NeedCols empty: the
+		// executor serves row counts from block metadata, decoding
+		// nothing at all.
 	}
 }
 

@@ -237,6 +237,11 @@ func shiftCols(e Expr, delta int) Expr {
 	}
 }
 
+// ColsUsed collects the set of column indexes an expression reads. The
+// executor uses it to split a scan's columns into the filter's inputs
+// and the late-materialized rest.
+func ColsUsed(e Expr, set map[int]bool) { colsUsed(e, set) }
+
 // colsUsed collects the set of column indexes an expression reads.
 func colsUsed(e Expr, set map[int]bool) {
 	switch x := e.(type) {

@@ -61,8 +61,12 @@ type TableScan struct {
 	Filter Expr
 	// Ranges are the zone-map-prunable bounds derived from Filter.
 	Ranges []ColRange
-	// NeedCols lists the table-local columns the query reads, ascending.
-	// Unused columns are never decoded (late materialization).
+	// NeedCols lists the table-local columns the query reads: the
+	// filter's input columns first (each group ascending), so the scan
+	// can evaluate the predicate before materializing the rest. Unused
+	// columns are never decoded, and an empty NeedCols means the scan
+	// needs row counts only (COUNT(*) with no filter) — served from
+	// block metadata with zero decodes.
 	NeedCols []int
 	// EstRows is the statistics row-count estimate (-1 when the table has
 	// never been ANALYZEd), used for physical-plan annotations.

@@ -1,0 +1,151 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"redshift/internal/types"
+)
+
+func cacheVec(n int) *types.Vector {
+	v := types.NewVector(types.Int64, n)
+	for i := 0; i < n; i++ {
+		v.Append(types.NewInt(int64(i)))
+	}
+	return v
+}
+
+func cacheID(table int64, idx int32) BlockID {
+	return BlockID{Table: table, Slice: 0, Segment: 0, Column: 0, Index: idx}
+}
+
+func TestBlockCacheGetPut(t *testing.T) {
+	c := NewBlockCache(1 << 20)
+	id := cacheID(1, 0)
+	if _, ok := c.Get(id); ok {
+		t.Fatal("hit on empty cache")
+	}
+	v := cacheVec(8)
+	c.Put(id, v)
+	got, ok := c.Get(id)
+	if !ok || got != v {
+		t.Fatalf("Get = %v, %v; want the cached vector", got, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 || s.Bytes != v.ByteSize() {
+		t.Errorf("stats = %+v", s)
+	}
+	// A duplicate Put of the same immutable block is a no-op.
+	c.Put(id, cacheVec(8))
+	if s2 := c.Stats(); s2.Entries != 1 || s2.Bytes != v.ByteSize() {
+		t.Errorf("duplicate Put changed residency: %+v", s2)
+	}
+}
+
+func TestBlockCacheLRUEviction(t *testing.T) {
+	one := cacheVec(16).ByteSize()
+	c := NewBlockCache(3 * one)
+	for i := int32(0); i < 3; i++ {
+		c.Put(cacheID(1, i), cacheVec(16))
+	}
+	// Touch block 0 so block 1 becomes the LRU victim.
+	if _, ok := c.Get(cacheID(1, 0)); !ok {
+		t.Fatal("block 0 missing before eviction")
+	}
+	c.Put(cacheID(1, 3), cacheVec(16))
+	if _, ok := c.Get(cacheID(1, 1)); ok {
+		t.Error("LRU entry survived over-budget Put")
+	}
+	for _, idx := range []int32{0, 2, 3} {
+		if _, ok := c.Get(cacheID(1, idx)); !ok {
+			t.Errorf("block %d evicted out of LRU order", idx)
+		}
+	}
+	s := c.Stats()
+	if s.Evictions != 1 || s.Bytes != 3*one || s.Bytes > s.Budget {
+		t.Errorf("stats = %+v", s)
+	}
+	// A vector larger than the whole budget is never cached.
+	big := cacheVec(1024)
+	if big.ByteSize() <= c.Stats().Budget {
+		t.Fatal("test vector not oversized")
+	}
+	c.Put(cacheID(1, 9), big)
+	if _, ok := c.Get(cacheID(1, 9)); ok {
+		t.Error("oversized vector was cached")
+	}
+}
+
+func TestBlockCacheInvalidateTable(t *testing.T) {
+	c := NewBlockCache(1 << 20)
+	c.Put(cacheID(1, 0), cacheVec(8))
+	c.Put(cacheID(1, 1), cacheVec(8))
+	c.Put(cacheID(2, 0), cacheVec(8))
+	c.InvalidateTable(1)
+	if _, ok := c.Get(cacheID(1, 0)); ok {
+		t.Error("table 1 block survived invalidation")
+	}
+	if _, ok := c.Get(cacheID(2, 0)); !ok {
+		t.Error("table 2 block lost to table 1 invalidation")
+	}
+	if s := c.Stats(); s.Entries != 1 {
+		t.Errorf("entries = %d, want 1", s.Entries)
+	}
+	c.Clear()
+	if s := c.Stats(); s.Entries != 0 || s.Bytes != 0 {
+		t.Errorf("Clear left %+v", s)
+	}
+}
+
+func TestBlockCacheNilDisabled(t *testing.T) {
+	c := NewBlockCache(-1)
+	if c != nil {
+		t.Fatal("negative budget should disable the cache")
+	}
+	// Every method must be a safe no-op on the nil receiver.
+	c.Put(cacheID(1, 0), cacheVec(4))
+	if _, ok := c.Get(cacheID(1, 0)); ok {
+		t.Error("nil cache returned a hit")
+	}
+	c.InvalidateTable(1)
+	c.Clear()
+	if s := c.Stats(); s != (CacheStats{}) {
+		t.Errorf("nil stats = %+v", s)
+	}
+}
+
+// TestBlockCacheConcurrent hammers the cache from many goroutines the way
+// concurrent slice scans do; run under -race it proves the locking.
+func TestBlockCacheConcurrent(t *testing.T) {
+	one := cacheVec(16).ByteSize()
+	c := NewBlockCache(8 * one) // small budget forces constant eviction
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				id := cacheID(int64(1+i%3), int32(i%32))
+				if v, ok := c.Get(id); ok {
+					if v.Len() != 16 {
+						panic(fmt.Sprintf("corrupt cached vector: len %d", v.Len()))
+					}
+					continue
+				}
+				c.Put(id, cacheVec(16))
+				if i%64 == 0 {
+					c.InvalidateTable(int64(1 + i%3))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Bytes > s.Budget {
+		t.Errorf("cache over budget: %d > %d", s.Bytes, s.Budget)
+	}
+	if s.Hits+s.Misses == 0 {
+		t.Error("no traffic recorded")
+	}
+}

@@ -212,6 +212,28 @@ func (v *Vector) Slice(lo, hi int) *Vector {
 	return out
 }
 
+// View returns a shallow copy whose payload slices are capacity-clamped
+// (full slice expressions), so any append through the view reallocates
+// instead of writing into v's backing arrays. Callers handing out cached
+// or otherwise shared vectors use it to stay safe against downstream
+// in-place appends.
+func (v *Vector) View() *Vector {
+	out := &Vector{T: v.T}
+	if v.Nulls != nil {
+		out.Nulls = v.Nulls[:len(v.Nulls):len(v.Nulls)]
+	}
+	if v.Ints != nil {
+		out.Ints = v.Ints[:len(v.Ints):len(v.Ints)]
+	}
+	if v.Floats != nil {
+		out.Floats = v.Floats[:len(v.Floats):len(v.Floats)]
+	}
+	if v.Strs != nil {
+		out.Strs = v.Strs[:len(v.Strs):len(v.Strs)]
+	}
+	return out
+}
+
 // Clone returns a deep copy.
 func (v *Vector) Clone() *Vector {
 	out := &Vector{T: v.T}

@@ -60,6 +60,10 @@ type Options struct {
 	// QuerySlots bounds concurrent SELECTs via the workload manager
 	// (0 = unlimited).
 	QuerySlots int
+	// BlockCacheBytes budgets the per-cluster decoded-block buffer cache:
+	// 0 keeps the default (64 MiB), negative disables caching (ablations
+	// and allocation-sensitive benchmarks use that).
+	BlockCacheBytes int64
 }
 
 // Result is one statement's outcome.
@@ -204,11 +208,12 @@ func (w *Warehouse) coreConfig(nodes int) core.Config {
 			BlockCap:      w.opts.BlockCap,
 			CohortSize:    w.opts.CohortSize,
 		},
-		Mode:       mode,
-		Plan:       planOpts,
-		DataStore:  w.dataLake,
-		QuerySlots: w.opts.QuerySlots,
-		Metrics:    w.metrics,
+		Mode:            mode,
+		Plan:            planOpts,
+		DataStore:       w.dataLake,
+		QuerySlots:      w.opts.QuerySlots,
+		Metrics:         w.metrics,
+		BlockCacheBytes: w.opts.BlockCacheBytes,
 	}
 }
 
