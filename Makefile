@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-scan
+.PHONY: build test race bench bench-scan chaos
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,14 @@ test: build
 race:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/cluster ./internal/core ./internal/exec ./internal/storage ./internal/telemetry
+
+# Short randomized-fault run under the race detector: query battery with
+# injected read errors and latency spikes must match a fault-free twin, a
+# fully dead cluster must fail cleanly. The seed is pinned for CI and
+# echoed by the suite on failure; replay with CHAOS_SEED=<seed> make chaos.
+CHAOS_SEED ?= 20260805
+chaos:
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -run TestChaos -v .
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

@@ -8,6 +8,7 @@
 package backup
 
 import (
+	"context"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
@@ -16,6 +17,7 @@ import (
 
 	"redshift/internal/catalog"
 	"redshift/internal/cluster"
+	"redshift/internal/faults"
 	"redshift/internal/s3sim"
 	"redshift/internal/storage"
 	"redshift/internal/types"
@@ -373,10 +375,15 @@ func (m *Manager) BackgroundRestore(c *cluster.Cluster, parallelism int) (int, e
 		go func() {
 			defer wg.Done()
 			for b := range work {
-				payload, err := m.FetchPayload(b)
-				if err == nil {
-					err = b.Fill(payload)
-				}
+				// A transient object-store hiccup must not abort the whole
+				// background restore; retry with backoff before giving up.
+				_, err := faults.DefaultPolicy.Do(context.Background(), func() error {
+					payload, ferr := m.FetchPayload(b)
+					if ferr != nil {
+						return ferr
+					}
+					return b.Fill(payload)
+				})
 				mu.Lock()
 				if err != nil && firstErr == nil {
 					firstErr = err

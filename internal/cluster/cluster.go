@@ -10,12 +10,15 @@
 package cluster
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"redshift/internal/catalog"
 	"redshift/internal/exec"
+	"redshift/internal/faults"
 	"redshift/internal/storage"
 	"redshift/internal/telemetry"
 	"redshift/internal/types"
@@ -149,6 +152,18 @@ type Cluster struct {
 	// fetchBackup, when set by the backup layer, resolves a block payload
 	// from S3 (by content hash) — the third read replica of §2.1.
 	fetchBackup func(b *storage.Block) ([]byte, error)
+
+	// inj injects faults at the secondary-fetch, S3-fetch and replication
+	// sites (nil-safe); retry is the backoff policy fail-over reads use.
+	inj   *faults.Injector
+	retry faults.Policy
+
+	// health quarantines nodes after repeated read failures so fail-over
+	// goes straight to the next replica tier.
+	health *HealthTracker
+
+	// mQuarantine counts quarantine transitions (node_quarantine_total).
+	mQuarantine *telemetry.Counter
 }
 
 // New builds a cluster.
@@ -156,7 +171,7 @@ func New(cfg Config) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	c := &Cluster{cfg: cfg, rr: map[int64]int{}}
+	c := &Cluster{cfg: cfg, rr: map[int64]int{}, health: NewHealthTracker(0)}
 	for n := 0; n < cfg.Nodes; n++ {
 		node := &Node{ID: n, secondary: map[storage.BlockID][]byte{}}
 		c.nodes = append(c.nodes, node)
@@ -210,7 +225,20 @@ func (c *Cluster) SetMetrics(reg *telemetry.Registry) {
 	for k := TransferKind(0); k < numTransferKinds; k++ {
 		c.metricBytes[k] = reg.Counter("net_" + k.String() + "_bytes_total")
 	}
+	c.mQuarantine = reg.Counter("node_quarantine_total")
+	c.health.onQuarantine = func(int) { c.mQuarantine.Inc() }
 }
+
+// SetFaults attaches the fault injector consulted at the cluster's
+// injection sites (nil detaches).
+func (c *Cluster) SetFaults(inj *faults.Injector) { c.inj = inj }
+
+// SetRetryPolicy overrides the fail-over read backoff policy (the zero
+// value restores defaults).
+func (c *Cluster) SetRetryPolicy(p faults.Policy) { c.retry = p }
+
+// Health exposes the node health tracker.
+func (c *Cluster) Health() *HealthTracker { return c.health }
 
 // AccountTransfer records bytes moving between two nodes, attributed to a
 // transfer direction; same-node moves are free, like slice-to-slice traffic
@@ -307,6 +335,14 @@ func (c *Cluster) AppendSegment(sliceID int, seg *storage.Segment, xid int64) er
 	}
 	sec := c.SecondaryNode(sl.Node.ID)
 	if sec >= 0 {
+		// The synchronous replica write is itself a fault site: a failed
+		// write is retried with backoff, and exhaustion fails the append —
+		// the block must not commit with fewer copies than promised.
+		if _, err := c.retry.Do(context.Background(), func() error {
+			return c.inj.Hit(faults.SiteReplicate)
+		}); err != nil {
+			return fmt.Errorf("cluster: replicating slice %d segment to node %d: %w", sliceID, sec, err)
+		}
 		secNode := c.nodes[sec]
 		secNode.mu.Lock()
 		seg.Blocks(func(b *storage.Block) {
@@ -529,42 +565,109 @@ func (c *Cluster) FailNode(nodeID int) {
 	node.mu.Unlock()
 }
 
+// errNoSecondaryCopy marks a fail-over miss that says nothing about the
+// secondary node's health.
+var errNoSecondaryCopy = errors.New("holds no secondary copy of the block")
+
 // FetchBlock resolves a block payload for a page fault: secondary replica
 // first, then the S3 backup ("The primary, secondary and Amazon S3 copies
 // of the data block are each available for read, making media failures
 // transparent").
 func (c *Cluster) FetchBlock(b *storage.Block) error {
-	_, err := c.fetchBlock(b)
+	_, _, err := c.fetchBlock(context.Background(), b)
 	return err
 }
 
-// fetchBlock is FetchBlock returning the bytes moved, so recovery can
-// account its own traffic without reading the shared counter.
-func (c *Cluster) fetchBlock(b *storage.Block) (int64, error) {
+// FetchBlockCtx is the scan path's fetcher: cancellable, and it reports
+// how many backoff retries the fail-over needed (EXPLAIN ANALYZE's
+// per-scan `retries`).
+func (c *Cluster) FetchBlockCtx(ctx context.Context, b *storage.Block) (retries int, err error) {
+	_, retries, err = c.fetchBlock(ctx, b)
+	return retries, err
+}
+
+// fetchBlock resolves a block from the secondary replica, then the S3
+// backup, retrying transient failures at each tier with backoff and
+// reporting per-node outcomes to the health tracker. It returns the
+// bytes moved (so recovery can account its own traffic) and the number
+// of retries spent.
+func (c *Cluster) fetchBlock(ctx context.Context, b *storage.Block) (int64, int, error) {
 	primaryNode := int(b.ID.Slice) / c.cfg.SlicesPerNode
-	if sec := c.SecondaryNode(primaryNode); sec >= 0 && !c.nodes[sec].Failed() {
+	retries := 0
+	var tierErrs []error
+	if sec := c.SecondaryNode(primaryNode); sec >= 0 {
 		secNode := c.nodes[sec]
-		secNode.mu.RLock()
-		payload, ok := secNode.secondary[b.ID]
-		secNode.mu.RUnlock()
-		if ok {
-			c.AccountTransfer(sec, primaryNode, int64(len(payload)), TransferRecovery)
-			return int64(len(payload)), b.Fill(payload)
+		switch {
+		case secNode.Failed():
+			tierErrs = append(tierErrs, fmt.Errorf("secondary node %d is down", sec))
+		case c.health.Quarantined(sec):
+			tierErrs = append(tierErrs, fmt.Errorf("secondary node %d is quarantined", sec))
+		default:
+			var payload []byte
+			attempts, err := c.retry.Do(ctx, func() error {
+				if ferr := c.inj.Hit(faults.SiteSecondaryFetch); ferr != nil {
+					return ferr
+				}
+				secNode.mu.RLock()
+				p, ok := secNode.secondary[b.ID]
+				secNode.mu.RUnlock()
+				if !ok {
+					// Missing copy: deterministic, retrying cannot help.
+					return faults.Permanent(fmt.Errorf("node %d: %w", sec, errNoSecondaryCopy))
+				}
+				payload = p
+				return nil
+			})
+			retries += attempts - 1
+			if err == nil {
+				c.health.ReportSuccess(sec)
+				c.AccountTransfer(sec, primaryNode, int64(len(payload)), TransferRecovery)
+				return int64(len(payload)), retries, b.Fill(payload)
+			}
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return 0, retries, err
+			}
+			tierErrs = append(tierErrs, fmt.Errorf("secondary node %d: %w", sec, err))
+			// Only transient exhaustion (a sick node) counts toward
+			// quarantine; a missing copy is bookkeeping, not node health.
+			if !errors.Is(err, errNoSecondaryCopy) {
+				c.health.ReportFailure(sec)
+			}
 		}
 	}
 	if c.fetchBackup != nil {
-		payload, err := c.fetchBackup(b)
+		var payload []byte
+		attempts, err := c.retry.Do(ctx, func() error {
+			if ferr := c.inj.Hit(faults.SiteS3Fetch); ferr != nil {
+				return ferr
+			}
+			p, ferr := c.fetchBackup(b)
+			if ferr != nil {
+				return ferr
+			}
+			payload = p
+			return nil
+		})
+		retries += attempts - 1
 		if err == nil {
 			c.AccountTransfer(-1, primaryNode, int64(len(payload)), TransferRecovery)
-			return int64(len(payload)), b.Fill(payload)
+			return int64(len(payload)), retries, b.Fill(payload)
 		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return 0, retries, err
+		}
+		tierErrs = append(tierErrs, fmt.Errorf("s3 backup: %w", err))
+	} else {
+		tierErrs = append(tierErrs, errors.New("no s3 backup fetcher installed"))
 	}
-	return 0, fmt.Errorf("cluster: block %s: no replica available", b.ID)
+	return 0, retries, fmt.Errorf("cluster: block %s: no replica available: %w", b.ID, errors.Join(tierErrs...))
 }
 
 // RecoverNode rebuilds a failed node from secondaries and S3 — the
-// replacement workflow's data phase. It returns the number of blocks
-// restored and the bytes moved.
+// replacement workflow's data phase. Each block independently fails over
+// secondary → S3 (a down or partial cohort secondary does not fail the
+// rebuild as long as the backup tier can serve the block). It returns
+// the number of blocks restored and the bytes moved.
 func (c *Cluster) RecoverNode(nodeID int) (blocks int, bytes int64, err error) {
 	node := c.nodes[nodeID]
 	for _, sl := range c.slices {
@@ -584,10 +687,10 @@ func (c *Cluster) RecoverNode(nodeID int) (blocks int, bytes int64, err error) {
 		}
 		sl.mu.RUnlock()
 		for _, b := range all {
-			n, ferr := c.fetchBlock(b)
+			n, _, ferr := c.fetchBlock(context.Background(), b)
 			bytes += n
 			if ferr != nil {
-				return blocks, bytes, ferr
+				return blocks, bytes, fmt.Errorf("cluster: rebuilding node %d: %w", nodeID, ferr)
 			}
 			blocks++
 		}
@@ -595,6 +698,8 @@ func (c *Cluster) RecoverNode(nodeID int) (blocks int, bytes int64, err error) {
 	// Re-establish the node's own secondary copies for its cohort peers.
 	bytes += c.reReplicateTo(nodeID)
 	node.failed.Store(false)
+	// A rebuilt node starts with a clean health record.
+	c.health.Reset(nodeID)
 	return blocks, bytes, nil
 }
 

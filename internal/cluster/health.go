@@ -1,0 +1,97 @@
+package cluster
+
+import "sync"
+
+// HealthTracker is the node-level failure accountant behind read
+// re-routing: every page-fault read reports its per-node outcome, and a
+// node that fails too many consecutive reads is quarantined — subsequent
+// fail-over reads skip it and go straight to the next replica tier
+// (typically S3) instead of burning retries against a sick node. §2.1's
+// failure masking plus the fail-fast half of it.
+//
+// Quarantine is sticky: it clears when the node is recovered/replaced
+// (RecoverNode) or explicitly via Reset. A single successful read clears
+// the consecutive-failure count but not an existing quarantine.
+type HealthTracker struct {
+	mu        sync.Mutex
+	threshold int
+	consec    map[int]int
+	quar      map[int]bool
+	// onQuarantine observes each new quarantine (metrics); may be nil.
+	onQuarantine func(node int)
+}
+
+// defaultQuarantineThreshold is how many consecutive failed reads demote
+// a node.
+const defaultQuarantineThreshold = 3
+
+// NewHealthTracker builds a tracker; threshold <= 0 uses the default.
+func NewHealthTracker(threshold int) *HealthTracker {
+	if threshold <= 0 {
+		threshold = defaultQuarantineThreshold
+	}
+	return &HealthTracker{
+		threshold: threshold,
+		consec:    map[int]int{},
+		quar:      map[int]bool{},
+	}
+}
+
+// ReportFailure counts one failed read against node and reports whether
+// this report crossed the quarantine threshold.
+func (h *HealthTracker) ReportFailure(node int) (quarantinedNow bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.consec[node]++
+	if h.consec[node] >= h.threshold && !h.quar[node] {
+		h.quar[node] = true
+		if h.onQuarantine != nil {
+			h.onQuarantine(node)
+		}
+		return true
+	}
+	return false
+}
+
+// ReportSuccess clears node's consecutive-failure count.
+func (h *HealthTracker) ReportSuccess(node int) {
+	h.mu.Lock()
+	delete(h.consec, node)
+	h.mu.Unlock()
+}
+
+// Quarantined reports whether node is currently skipped by fail-over
+// reads.
+func (h *HealthTracker) Quarantined(node int) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quar[node]
+}
+
+// Reset clears node's quarantine and failure count — the node was
+// recovered or replaced.
+func (h *HealthTracker) Reset(node int) {
+	h.mu.Lock()
+	delete(h.consec, node)
+	delete(h.quar, node)
+	h.mu.Unlock()
+}
+
+// NodeHealth is one stv_node_health row.
+type NodeHealth struct {
+	Node        int
+	Consecutive int
+	Quarantined bool
+}
+
+// Snapshot returns per-node health for the given node count (all nodes
+// reported, healthy ones included).
+func (h *HealthTracker) Snapshot(nodes int) []NodeHealth {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]NodeHealth, nodes)
+	for n := 0; n < nodes; n++ {
+		out[n] = NodeHealth{Node: n, Consecutive: h.consec[n], Quarantined: h.quar[n]}
+	}
+	return out
+}

@@ -7,7 +7,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -17,6 +19,7 @@ import (
 	"redshift/internal/cluster"
 	"redshift/internal/compress"
 	"redshift/internal/exec"
+	"redshift/internal/faults"
 	"redshift/internal/load"
 	"redshift/internal/plan"
 	"redshift/internal/s3sim"
@@ -50,6 +53,12 @@ type Config struct {
 	// BlockCacheBytes budgets the node-level decoded-block buffer cache.
 	// 0 means the default (64 MiB); negative disables the cache.
 	BlockCacheBytes int64
+	// Faults is the fault injector threaded through the storage, cluster
+	// and exchange paths; nil leaves every site inert.
+	Faults *faults.Injector
+	// StatementTimeout bounds every SELECT's wall-clock time; 0 disables.
+	// SET statement_timeout overrides it at runtime.
+	StatementTimeout time.Duration
 }
 
 // Database is one warehouse cluster's SQL engine.
@@ -77,6 +86,26 @@ type Database struct {
 	// readOnly rejects writes; set by resize while the parallel copy runs
 	// ("we ... put the original cluster in read-only mode", §3.1).
 	readOnly atomic.Bool
+
+	// inj is the shared fault injector (nil-receiver safe, may be nil).
+	inj *faults.Injector
+	// stmtTimeout is the current statement_timeout in nanoseconds.
+	stmtTimeout atomic.Int64
+
+	// qmu guards the running-query registry; nextQID hands out stl_query
+	// ids before execution so CANCEL <id> can find in-flight queries.
+	qmu     sync.Mutex
+	nextQID int64
+	running map[int64]*runningQuery
+}
+
+// runningQuery is one in-flight SELECT, registered for CANCEL and
+// stv_inflight.
+type runningQuery struct {
+	id     int64
+	sql    string
+	start  time.Time
+	cancel context.CancelCauseFunc
 }
 
 // SetReadOnly toggles write rejection.
@@ -144,7 +173,9 @@ func Open(cfg Config) (*Database, error) {
 		return nil, err
 	}
 	cl.SetMetrics(cfg.Metrics)
-	return &Database{
+	cl.SetFaults(cfg.Faults)
+	cfg.Faults.SetMetrics(cfg.Metrics)
+	db := &Database{
 		cfg:        cfg,
 		cat:        catalog.New(),
 		cl:         cl,
@@ -154,7 +185,11 @@ func Open(cfg Config) (*Database, error) {
 		qlog:       telemetry.NewQueryLog(cfg.QueryLogSize),
 		sliceStats: make([]sliceStat, cl.NumSlices()),
 		cache:      storage.NewBlockCache(cfg.BlockCacheBytes),
-	}, nil
+		inj:        cfg.Faults,
+		running:    map[int64]*runningQuery{},
+	}
+	db.stmtTimeout.Store(int64(cfg.StatementTimeout))
+	return db, nil
 }
 
 // BlockCache exposes the decoded-block buffer cache (nil when disabled).
@@ -197,20 +232,31 @@ func (db *Database) AdoptCatalog(cat *catalog.Catalog) {
 
 // Execute parses and runs one SQL statement with auto-commit.
 func (db *Database) Execute(query string) (*Result, error) {
+	return db.ExecuteContext(context.Background(), query)
+}
+
+// ExecuteContext parses and runs one SQL statement; ctx cancellation or
+// deadline aborts the statement within one batch boundary.
+func (db *Database) ExecuteContext(ctx context.Context, query string) (*Result, error) {
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return db.ExecuteStmt(stmt)
+	return db.ExecuteStmtContext(ctx, stmt)
 }
 
 // ExecuteStmt runs a parsed statement.
 func (db *Database) ExecuteStmt(stmt sql.Statement) (*Result, error) {
+	return db.ExecuteStmtContext(context.Background(), stmt)
+}
+
+// ExecuteStmtContext runs a parsed statement under ctx.
+func (db *Database) ExecuteStmtContext(ctx context.Context, stmt sql.Statement) (*Result, error) {
 	switch s := stmt.(type) {
 	case *sql.Select:
-		return db.runSelect(s)
+		return db.runSelect(ctx, s)
 	case *sql.Explain:
-		return db.runExplain(s)
+		return db.runExplain(ctx, s)
 	case *sql.CreateTable:
 		return db.runCreateTable(s)
 	case *sql.DropTable:
@@ -218,16 +264,113 @@ func (db *Database) ExecuteStmt(stmt sql.Statement) (*Result, error) {
 	case *sql.Truncate:
 		return db.runTruncate(s)
 	case *sql.Insert:
-		return db.runInsert(s)
+		return db.runInsert(ctx, s)
 	case *sql.Copy:
-		return db.runCopy(s)
+		return db.runCopy(ctx, s)
 	case *sql.Vacuum:
 		return db.runVacuum(s)
 	case *sql.Analyze:
 		return db.runAnalyze(s)
+	case *sql.Set:
+		return db.runSet(s)
+	case *sql.Cancel:
+		return db.runCancel(s)
 	default:
 		return nil, fmt.Errorf("core: unsupported statement %T", stmt)
 	}
+}
+
+// runSet handles session options. statement_timeout takes milliseconds
+// (Redshift's unit; 0 disables); fault_injection toggles the injector.
+func (db *Database) runSet(s *sql.Set) (*Result, error) {
+	switch s.Name {
+	case "statement_timeout":
+		ms, err := strconv.ParseInt(s.Value, 10, 64)
+		if err != nil || ms < 0 {
+			return nil, fmt.Errorf("core: statement_timeout wants milliseconds >= 0, got %q", s.Value)
+		}
+		db.stmtTimeout.Store(ms * int64(time.Millisecond))
+		return &Result{Message: "SET"}, nil
+	case "fault_injection":
+		if db.inj == nil {
+			return nil, fmt.Errorf("core: no fault plan configured")
+		}
+		switch strings.ToLower(s.Value) {
+		case "on", "true", "1":
+			db.inj.SetEnabled(true)
+		case "off", "false", "0":
+			db.inj.SetEnabled(false)
+		default:
+			return nil, fmt.Errorf("core: fault_injection wants on or off, got %q", s.Value)
+		}
+		return &Result{Message: "SET"}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown option %q", s.Name)
+	}
+}
+
+// runCancel aborts a running query by id (the wire-level CANCEL verb).
+func (db *Database) runCancel(s *sql.Cancel) (*Result, error) {
+	if !db.Cancel(s.ID) {
+		return nil, fmt.Errorf("core: query %d is not running", s.ID)
+	}
+	return &Result{Message: fmt.Sprintf("CANCEL %d", s.ID)}, nil
+}
+
+// errQueryCancelled is the cancellation cause a user CANCEL plants; it
+// distinguishes "cancelled on request" from a caller's own ctx expiring.
+var errQueryCancelled = fmt.Errorf("cancelled on user request")
+
+// Cancel aborts the running query with the given stl_query id, reporting
+// whether such a query was found. The query unwinds within one batch
+// boundary, releasing its pooled batches and WLM slot.
+func (db *Database) Cancel(id int64) bool {
+	db.qmu.Lock()
+	rq := db.running[id]
+	db.qmu.Unlock()
+	if rq == nil {
+		return false
+	}
+	rq.cancel(errQueryCancelled)
+	return true
+}
+
+// StatementTimeout returns the current statement_timeout (0 = disabled).
+func (db *Database) StatementTimeout() time.Duration {
+	return time.Duration(db.stmtTimeout.Load())
+}
+
+// Faults exposes the shared fault injector (nil when unconfigured).
+func (db *Database) Faults() *faults.Injector { return db.inj }
+
+// registerQuery assigns the query's stl_query id up front and installs
+// its cancel hook; the returned context is cancelled by Database.Cancel.
+func (db *Database) registerQuery(ctx context.Context, sqlText string) (int64, context.Context, context.CancelCauseFunc) {
+	ctx, cancel := context.WithCancelCause(ctx)
+	db.qmu.Lock()
+	db.nextQID++
+	id := db.nextQID
+	db.running[id] = &runningQuery{id: id, sql: sqlText, start: time.Now(), cancel: cancel}
+	db.qmu.Unlock()
+	return id, ctx, cancel
+}
+
+// unregisterQuery removes a finished query from the running set.
+func (db *Database) unregisterQuery(id int64) {
+	db.qmu.Lock()
+	delete(db.running, id)
+	db.qmu.Unlock()
+}
+
+// runningQueries snapshots the in-flight set for stv_inflight.
+func (db *Database) runningQueries() []*runningQuery {
+	db.qmu.Lock()
+	defer db.qmu.Unlock()
+	out := make([]*runningQuery, 0, len(db.running))
+	for _, rq := range db.running {
+		out = append(out, rq)
+	}
+	return out
 }
 
 func (db *Database) runCreateTable(s *sql.CreateTable) (*Result, error) {
@@ -357,8 +500,11 @@ func (db *Database) runTruncate(s *sql.Truncate) (*Result, error) {
 	return &Result{Message: "TRUNCATE"}, nil
 }
 
-func (db *Database) runInsert(s *sql.Insert) (*Result, error) {
+func (db *Database) runInsert(ctx context.Context, s *sql.Insert) (*Result, error) {
 	if err := db.errIfReadOnly(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	def, err := db.cat.Get(s.Table)
@@ -467,8 +613,11 @@ func coerceInsertValue(v types.Value, t types.Type) (types.Value, error) {
 	return types.Value{}, fmt.Errorf("cannot store %s value %s in %s column", v.T, v, t)
 }
 
-func (db *Database) runCopy(s *sql.Copy) (*Result, error) {
+func (db *Database) runCopy(ctx context.Context, s *sql.Copy) (*Result, error) {
 	if err := db.errIfReadOnly(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if db.cfg.DataStore == nil {
@@ -766,13 +915,13 @@ func (db *Database) analyzeCompression(defs []*catalog.TableDef) (*Result, error
 	return res, nil
 }
 
-func (db *Database) runExplain(s *sql.Explain) (*Result, error) {
+func (db *Database) runExplain(ctx context.Context, s *sql.Explain) (*Result, error) {
 	sel, ok := s.Stmt.(*sql.Select)
 	if !ok {
 		return nil, fmt.Errorf("core: EXPLAIN supports SELECT only")
 	}
 	if s.Analyze {
-		return db.runExplainAnalyze(sel)
+		return db.runExplainAnalyze(ctx, sel)
 	}
 	// System tables live in a transient catalog, not db.cat; bind EXPLAIN
 	// against the same catalog the query itself would run against.
@@ -797,14 +946,14 @@ func (db *Database) runExplain(s *sql.Explain) (*Result, error) {
 
 // runExplainAnalyze executes the query and renders its span tree with
 // actual times, rows, bytes and block counts.
-func (db *Database) runExplainAnalyze(sel *sql.Select) (*Result, error) {
+func (db *Database) runExplainAnalyze(ctx context.Context, sel *sql.Select) (*Result, error) {
 	if sel.From == nil {
 		return nil, fmt.Errorf("core: EXPLAIN ANALYZE needs a FROM table")
 	}
 	if isSystemTable(sel.From.Table) {
 		return nil, fmt.Errorf("core: EXPLAIN ANALYZE does not cover system tables")
 	}
-	run, trace, err := db.runSelectTraced(sel)
+	run, trace, err := db.runSelectTraced(ctx, sel)
 	if err != nil {
 		return nil, err
 	}

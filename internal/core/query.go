@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -24,24 +26,64 @@ const exchangeBuf = 2
 // runSelect executes a SELECT: plan at the leader, per-slice parallel
 // execution with strategy-appropriate data movement, final merge at the
 // leader (§2.1's query processing flow).
-func (db *Database) runSelect(s *sql.Select) (*Result, error) {
+func (db *Database) runSelect(ctx context.Context, s *sql.Select) (*Result, error) {
 	if s.From == nil {
 		return db.runLeaderSelect(s)
 	}
 	if isSystemTable(s.From.Table) {
-		return db.runSystemSelect(s)
+		return db.runSystemSelect(ctx, s)
 	}
-	res, _, err := db.runSelectTraced(s)
+	res, _, err := db.runSelectTraced(ctx, s)
 	return res, err
 }
 
+// classifyQueryErr folds a run error into its stl_query terminal state and
+// a user-facing error. A context error is rewritten so the user sees why
+// the query died ("cancelled on user request" / "statement timeout"), not
+// a bare context.Canceled.
+func classifyQueryErr(ctx context.Context, qid int64, err error) (string, error) {
+	switch {
+	case err == nil:
+		return "success", nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout", fmt.Errorf("core: query %d aborted: statement timeout", qid)
+	case errors.Is(err, context.Canceled):
+		cause := context.Cause(ctx)
+		if cause == nil || errors.Is(cause, context.Canceled) {
+			cause = errors.New("context cancelled")
+		}
+		if errors.Is(cause, context.DeadlineExceeded) {
+			return "timeout", fmt.Errorf("core: query %d aborted: statement timeout", qid)
+		}
+		return "cancelled", fmt.Errorf("core: query %d aborted: %v", qid, cause)
+	default:
+		return "error", err
+	}
+}
+
 // runSelectTraced executes a data-plane SELECT and returns the result with
-// its span tree. Every run — including failed ones — is appended to the
-// query log and counted in the metrics registry.
-func (db *Database) runSelectTraced(s *sql.Select) (*Result, *telemetry.Span, error) {
+// its span tree. Every run — including failed and cancelled ones — is
+// appended to the query log and counted in the metrics registry.
+func (db *Database) runSelectTraced(ctx context.Context, s *sql.Select) (*Result, *telemetry.Span, error) {
 	start := time.Now()
+	if d := db.StatementTimeout(); d > 0 {
+		var cancelT context.CancelFunc
+		ctx, cancelT = context.WithTimeout(ctx, d)
+		defer cancelT()
+	}
+	qid, ctx, cancel := db.registerQuery(ctx, s.String())
+	defer cancel(nil)
+	defer db.unregisterQuery(qid)
+
 	trace := telemetry.StartSpan("query")
-	queueWait := db.wlm.Acquire()
+	queueWait, err := db.wlm.AcquireCtx(ctx)
+	if err != nil {
+		// The slot was never acquired: nothing to release.
+		trace.End()
+		state, err := classifyQueryErr(ctx, qid, err)
+		db.recordQuery(qid, s, start, queueWait, 0, 0, nil, trace, err, state)
+		return nil, trace, err
+	}
 	defer db.wlm.Release()
 
 	planSpan := trace.StartChild("plan")
@@ -51,7 +93,7 @@ func (db *Database) runSelectTraced(s *sql.Select) (*Result, *telemetry.Span, er
 	planSpan.End()
 	if err != nil {
 		trace.End()
-		db.recordQuery(s, start, queueWait, planTime, 0, nil, trace, err)
+		db.recordQuery(qid, s, start, queueWait, planTime, 0, nil, trace, err, "error")
 		return nil, trace, err
 	}
 
@@ -65,11 +107,14 @@ func (db *Database) runSelectTraced(s *sql.Select) (*Result, *telemetry.Span, er
 	}
 	netBefore := db.cl.NetBytes()
 	execStart := time.Now()
-	final, err := q.execute()
+	final, err := q.execute(ctx)
 	execTime := time.Since(execStart)
 	trace.End()
+	db.metrics.Counter("query_retries_total").Add(q.scans.Retries.Load())
+	db.metrics.Counter("failover_reads_total").Add(q.scans.FailoverReads.Load())
 	if err != nil {
-		db.recordQuery(s, start, queueWait, planTime, execTime, nil, trace, err)
+		state, err := classifyQueryErr(ctx, qid, err)
+		db.recordQuery(qid, s, start, queueWait, planTime, execTime, nil, trace, err, state)
 		return nil, trace, err
 	}
 	res := &Result{
@@ -87,20 +132,22 @@ func (db *Database) runSelectTraced(s *sql.Select) (*Result, *telemetry.Span, er
 	for i := 0; i < final.N; i++ {
 		res.Rows = append(res.Rows, final.Row(i))
 	}
-	db.recordQuery(s, start, queueWait, planTime, execTime, res, trace, nil)
+	db.recordQuery(qid, s, start, queueWait, planTime, execTime, res, trace, nil, "success")
 	return res, trace, nil
 }
 
 // recordQuery appends one finished SELECT to the query log and emits its
 // counters into the registry.
-func (db *Database) recordQuery(s *sql.Select, start time.Time, queueWait, planTime, execTime time.Duration, res *Result, trace *telemetry.Span, runErr error) {
+func (db *Database) recordQuery(qid int64, s *sql.Select, start time.Time, queueWait, planTime, execTime time.Duration, res *Result, trace *telemetry.Span, runErr error, state string) {
 	rec := telemetry.QueryRecord{
+		ID:        qid,
 		SQL:       s.String(),
 		Start:     start,
 		End:       time.Now(),
 		QueueWait: queueWait,
 		PlanTime:  planTime,
 		ExecTime:  execTime,
+		State:     state,
 		Trace:     trace,
 	}
 	if res != nil {
@@ -118,7 +165,14 @@ func (db *Database) recordQuery(s *sql.Select, start time.Time, queueWait, planT
 	m := db.metrics
 	m.Counter("query_total").Inc()
 	if runErr != nil {
-		m.Counter("query_errors_total").Inc()
+		switch state {
+		case "cancelled":
+			m.Counter("query_cancelled_total").Inc()
+		case "timeout":
+			m.Counter("query_timeout_total").Inc()
+		default:
+			m.Counter("query_errors_total").Inc()
+		}
 		return
 	}
 	m.Counter("query_blocks_read_total").Add(rec.BlocksRead)
@@ -232,7 +286,7 @@ func (q *queryRun) numSlices() int {
 // producer), so intermediate results are never materialized between stages
 // — peak live batches are O(slices × pipeline depth), bounded by the
 // exchange buffers and one outstanding batch per operator.
-func (q *queryRun) execute() (*exec.Batch, error) {
+func (q *queryRun) execute(ctx context.Context) (*exec.Batch, error) {
 	nslices := q.numSlices()
 	q.ph = plan.BuildPhysical(q.p)
 	q.stats = make([]*exec.OpStats, len(q.ph.Nodes))
@@ -245,6 +299,14 @@ func (q *queryRun) execute() (*exec.Batch, error) {
 	m := q.db.metrics
 	q.flight = exec.NewFlightTracker(m.Gauge("exec_batches_in_flight"))
 	defer func() {
+		// By the time any return runs, every producer and consumer has been
+		// joined (or never launched), so draining the exchange buffers is
+		// safe — it retires the batches an early stop (error, cancel,
+		// timeout) parked in flight, keeping exec_batches_in_flight at zero
+		// between queries.
+		for _, ex := range q.exs {
+			ex.Drain()
+		}
 		q.foldScanStats()
 		m.Gauge("exec_batches_in_flight_peak").Set(q.flight.HighWater())
 		q.emitSpans()
@@ -299,7 +361,7 @@ func (q *queryRun) execute() (*exec.Batch, error) {
 		prodWG.Add(1)
 		go func(pr producer) {
 			defer prodWG.Done()
-			pr.ex.Produce(pr.src, pr.op, pr.route)
+			pr.ex.Produce(ctx, pr.src, pr.op, pr.route)
 		}(pr)
 	}
 
@@ -322,7 +384,7 @@ func (q *queryRun) execute() (*exec.Batch, error) {
 					return nil
 				}
 			}
-			if err := driveChain(chains[sl], sink); err != nil {
+			if err := driveChain(ctx, chains[sl], sink); err != nil {
 				errs[sl] = err
 				// Unblock every producer and consumer parked on an exchange.
 				q.abortExchanges(err)
@@ -368,7 +430,7 @@ func (q *queryRun) execute() (*exec.Batch, error) {
 	root = q.wrap(exec.NewFinalizeOp(root, q.p.Distinct, q.p.OrderBy, q.p.Limit, len(q.p.Project)), q.ph.Finalize)
 
 	var final *exec.Batch
-	err := driveChain(root, func(b *exec.Batch) error {
+	err := driveChain(ctx, root, func(b *exec.Batch) error {
 		if final == nil {
 			final = b
 			return nil
@@ -485,11 +547,12 @@ func (q *queryRun) scanOp(n *plan.PhysNode, statSlice int) (exec.Operator, error
 	}
 	local := &exec.ScanStats{}
 	q.scanInsts[n.ID] = append(q.scanInsts[n.ID], scanInstance{slice: statSlice, stats: local})
-	sc, err := exec.NewScanner(q.mode, n.Scan, q.db.cl.FetchBlock, local)
+	sc, err := exec.NewScanner(q.mode, n.Scan, q.db.cl.FetchBlockCtx, local)
 	if err != nil {
 		return nil, err
 	}
 	sc.SetCache(q.db.cache)
+	sc.SetFaults(q.db.inj)
 	segs := q.db.cl.VisibleSegments(statSlice, n.Scan.Def.ID, q.snapshot)
 	return q.wrap(exec.NewScanOp(sc, segs), n), nil
 }
@@ -535,6 +598,7 @@ func (q *queryRun) newExchange(n *plan.PhysNode, nslices int) *exec.Exchange {
 		}
 	}
 	ex := exec.NewExchange(nslices, exchangeBuf, account, q.flight)
+	ex.SetFaults(q.db.inj)
 	q.exs[n.ID] = ex
 	return ex
 }
@@ -554,14 +618,20 @@ func (q *queryRun) abortExchanges(err error) {
 }
 
 // driveChain runs one operator chain to exhaustion, feeding each emitted
-// batch to sink (which may be nil).
-func driveChain(op exec.Operator, sink func(*exec.Batch) error) error {
-	if err := op.Open(); err != nil {
+// batch to sink (which may be nil). Cancellation is checked once per
+// batch, so an aborted query unwinds within one batch boundary even when
+// no leaf operator blocks.
+func driveChain(ctx context.Context, op exec.Operator, sink func(*exec.Batch) error) error {
+	if err := op.Open(ctx); err != nil {
 		op.Close()
 		return err
 	}
 	for {
-		b, err := op.Next()
+		if err := ctx.Err(); err != nil {
+			op.Close()
+			return err
+		}
+		b, err := op.Next(ctx)
 		if err != nil {
 			op.Close()
 			return err
@@ -607,6 +677,8 @@ func (q *queryRun) foldScanStats() {
 			q.scans.BytesRead.Add(by)
 			q.scans.CacheHits.Add(inst.stats.CacheHits.Load())
 			q.scans.CacheMisses.Add(inst.stats.CacheMisses.Load())
+			q.scans.Retries.Add(inst.stats.Retries.Load())
+			q.scans.FailoverReads.Add(inst.stats.FailoverReads.Load())
 
 			st := &q.db.sliceStats[inst.slice]
 			st.scans.Add(1)
@@ -642,12 +714,24 @@ func (q *queryRun) emitSpans() {
 				child.Add("bytes", inst.stats.BytesRead.Load())
 				child.Add("cache_hits", inst.stats.CacheHits.Load())
 				child.Add("cache_misses", inst.stats.CacheMisses.Load())
+				if r := inst.stats.Retries.Load(); r > 0 {
+					child.Add("retries", r)
+				}
+				if f := inst.stats.FailoverReads.Load(); f > 0 {
+					child.Add("failover_reads", f)
+				}
 				child.SetDuration(0)
 				sp.Add("blocks_read", inst.stats.BlocksRead.Load())
 				sp.Add("blocks_skipped", inst.stats.BlocksSkipped.Load())
 				sp.Add("bytes", inst.stats.BytesRead.Load())
 				sp.Add("cache_hits", inst.stats.CacheHits.Load())
 				sp.Add("cache_misses", inst.stats.CacheMisses.Load())
+				if r := inst.stats.Retries.Load(); r > 0 {
+					sp.Add("retries", r)
+				}
+				if f := inst.stats.FailoverReads.Load(); f > 0 {
+					sp.Add("failover_reads", f)
+				}
 			}
 		case plan.PhysPartialAgg:
 			for sl := range q.aggGroups {

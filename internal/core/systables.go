@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 
 	"redshift/internal/catalog"
@@ -40,6 +41,7 @@ var systemTables = []systemTable{
 			{Name: "blocks_skipped", Type: types.Int64},
 			{Name: "net_bytes", Type: types.Int64},
 			{Name: "aborted", Type: types.Int64},
+			{Name: "state", Type: types.String},
 		},
 		rows: func(db *Database) []types.Row {
 			recs := db.qlog.Records()
@@ -48,6 +50,14 @@ var systemTables = []systemTable{
 				aborted := int64(0)
 				if r.Error != "" {
 					aborted = 1
+				}
+				state := r.State
+				if state == "" {
+					if aborted == 1 {
+						state = "error"
+					} else {
+						state = "success"
+					}
 				}
 				rows = append(rows, types.Row{
 					types.NewInt(r.ID),
@@ -62,6 +72,7 @@ var systemTables = []systemTable{
 					types.NewInt(r.BlocksSkipped),
 					types.NewInt(r.NetBytes),
 					types.NewInt(aborted),
+					types.NewString(state),
 				})
 			}
 			return rows
@@ -90,6 +101,85 @@ var systemTables = []systemTable{
 					types.NewInt(st.blocksSkipped.Load()),
 					types.NewInt(st.rowsRead.Load()),
 					types.NewInt(st.bytesRead.Load()),
+				})
+			}
+			return rows
+		},
+	},
+	{
+		name: "stv_inflight",
+		cols: []catalog.ColumnDef{
+			{Name: "query", Type: types.Int64},
+			{Name: "querytxt", Type: types.String},
+			{Name: "starttime", Type: types.Timestamp},
+		},
+		rows: func(db *Database) []types.Row {
+			rqs := db.runningQueries()
+			rows := make([]types.Row, 0, len(rqs))
+			for _, rq := range rqs {
+				rows = append(rows, types.Row{
+					types.NewInt(rq.id),
+					types.NewString(rq.sql),
+					types.NewTimestamp(rq.start.UnixMicro()),
+				})
+			}
+			return rows
+		},
+	},
+	{
+		name: "stv_faults",
+		cols: []catalog.ColumnDef{
+			{Name: "site", Type: types.Int64},
+			{Name: "name", Type: types.String},
+			{Name: "prob", Type: types.Float64},
+			{Name: "hits", Type: types.Int64},
+			{Name: "injected", Type: types.Int64},
+			{Name: "delayed", Type: types.Int64},
+			{Name: "enabled", Type: types.Int64},
+		},
+		rows: func(db *Database) []types.Row {
+			if db.inj == nil {
+				return nil
+			}
+			enabled := int64(0)
+			if db.inj.Enabled() {
+				enabled = 1
+			}
+			snap := db.inj.Snapshot()
+			rows := make([]types.Row, 0, len(snap))
+			for i, s := range snap {
+				rows = append(rows, types.Row{
+					types.NewInt(int64(i)),
+					types.NewString(s.Site),
+					types.NewFloat(s.Rule.Prob),
+					types.NewInt(s.Hits),
+					types.NewInt(s.Injected),
+					types.NewInt(s.Delayed),
+					types.NewInt(enabled),
+				})
+			}
+			return rows
+		},
+	},
+	{
+		name: "stv_node_health",
+		cols: []catalog.ColumnDef{
+			{Name: "node", Type: types.Int64},
+			{Name: "consecutive_failures", Type: types.Int64},
+			{Name: "quarantined", Type: types.Int64},
+		},
+		rows: func(db *Database) []types.Row {
+			snap := db.cl.Health().Snapshot(db.cl.NumNodes())
+			rows := make([]types.Row, 0, len(snap))
+			for _, nh := range snap {
+				q := int64(0)
+				if nh.Quarantined {
+					q = 1
+				}
+				rows = append(rows, types.Row{
+					types.NewInt(int64(nh.Node)),
+					types.NewInt(int64(nh.Consecutive)),
+					types.NewInt(q),
 				})
 			}
 			return rows
@@ -155,7 +245,7 @@ func (db *Database) sysCatalog() (*catalog.Catalog, map[*catalog.TableDef][]type
 // execution pipeline runs, but against a transient catalog of materialized
 // rows, on a single leader "slice". System queries are not themselves
 // logged into stl_query (monitoring shouldn't fill the log it reads).
-func (db *Database) runSystemSelect(s *sql.Select) (*Result, error) {
+func (db *Database) runSystemSelect(ctx context.Context, s *sql.Select) (*Result, error) {
 	cat, sys, err := db.sysCatalog()
 	if err != nil {
 		return nil, err
@@ -172,7 +262,7 @@ func (db *Database) runSystemSelect(s *sql.Select) (*Result, error) {
 		scans:    &exec.ScanStats{},
 		sys:      sys,
 	}
-	final, err := q.execute()
+	final, err := q.execute(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -49,11 +50,21 @@ func NewWLM(n int, reg *telemetry.Registry) *WLM {
 
 // Acquire blocks until a slot is free and returns the time spent queued.
 func (w *WLM) Acquire() time.Duration {
+	// Background has a nil Done channel, so the select below can only
+	// resolve on the slot — the pre-cancellation behavior.
+	wait, _ := w.AcquireCtx(context.Background())
+	return wait
+}
+
+// AcquireCtx blocks until a slot is free or ctx is cancelled. On
+// cancellation the query leaves the queue without ever occupying a slot
+// and the caller must NOT Release.
+func (w *WLM) AcquireCtx(ctx context.Context) (time.Duration, error) {
 	if w.slots == nil {
 		w.mu.Lock()
 		w.admitLocked()
 		w.mu.Unlock()
-		return 0
+		return 0, nil
 	}
 	w.mu.Lock()
 	w.queued++
@@ -66,7 +77,17 @@ func (w *WLM) Acquire() time.Duration {
 	w.mu.Unlock()
 
 	start := time.Now()
-	w.slots <- struct{}{}
+	select {
+	case w.slots <- struct{}{}:
+	case <-ctx.Done():
+		w.mu.Lock()
+		w.queued--
+		if w.mQueued != nil {
+			w.mQueued.Set(int64(w.queued))
+		}
+		w.mu.Unlock()
+		return time.Since(start), ctx.Err()
+	}
 	wait := time.Since(start)
 
 	w.mu.Lock()
@@ -80,7 +101,7 @@ func (w *WLM) Acquire() time.Duration {
 	}
 	w.admitLocked()
 	w.mu.Unlock()
-	return wait
+	return wait, nil
 }
 
 func (w *WLM) admitLocked() {

@@ -1,9 +1,11 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"sync"
 
+	"redshift/internal/faults"
 	"redshift/internal/plan"
 	"redshift/internal/types"
 )
@@ -25,6 +27,9 @@ type Exchange struct {
 	// the exchange now, not in the driver); may be nil.
 	account AccountFn
 	fl      *FlightTracker
+	// inj, when set, fires the exec.exchange.send site on every handoff —
+	// the in-process stand-in for a flaky inter-node link.
+	inj *faults.Injector
 }
 
 // AccountFn observes one batch delivered from src slice to dst slice.
@@ -53,6 +58,9 @@ func NewExchange(n, buf int, account AccountFn, fl *FlightTracker) *Exchange {
 	return e
 }
 
+// SetFaults attaches a fault injector to the send path (nil detaches).
+func (e *Exchange) SetFaults(inj *faults.Injector) { e.inj = inj }
+
 // Abort cancels the exchange: pending and future sends and receives return
 // err. The first abort wins.
 func (e *Exchange) Abort(err error) {
@@ -76,8 +84,18 @@ func (e *Exchange) Err() error {
 }
 
 // Send delivers one batch from src to dst, blocking while dst's buffer is
-// full (backpressure) and failing once the exchange is aborted.
-func (e *Exchange) Send(src, dst int, b *Batch) error {
+// full (backpressure) and failing once the exchange is aborted or the
+// context is cancelled.
+func (e *Exchange) Send(ctx context.Context, src, dst int, b *Batch) error {
+	// The fault site fires before accounting or flight tracking: an
+	// injected link failure loses the batch before it was ever "on the
+	// wire". Latency rules model a slow link.
+	if e.inj != nil {
+		if err := e.inj.Hit(faults.SiteExchangeSend); err != nil {
+			e.Abort(err)
+			return err
+		}
+	}
 	// Account before the channel op: ownership passes to the consumer the
 	// moment the send succeeds, and a released batch must not be read.
 	// (An aborted send over-accounts one batch; the query failed anyway.)
@@ -93,6 +111,9 @@ func (e *Exchange) Send(src, dst int, b *Batch) error {
 	case <-e.done:
 		e.fl.Dec()
 		return e.err
+	case <-ctx.Done():
+		e.fl.Dec()
+		return ctx.Err()
 	}
 }
 
@@ -106,16 +127,16 @@ func (e *Exchange) closeSend(src int) {
 // Produce drives op to exhaustion, routing every output batch to its
 // destinations. It always closes src's streams on the way out and aborts
 // the exchange on any failure, so consumers never hang.
-func (e *Exchange) Produce(src int, op Operator, route RouteFn) {
+func (e *Exchange) Produce(ctx context.Context, src int, op Operator, route RouteFn) {
 	defer e.closeSend(src)
-	if err := op.Open(); err != nil {
+	if err := op.Open(ctx); err != nil {
 		e.Abort(err)
 		op.Close()
 		return
 	}
 loop:
 	for {
-		b, err := op.Next()
+		b, err := op.Next(ctx)
 		if err != nil {
 			e.Abort(err)
 			break
@@ -132,7 +153,7 @@ loop:
 			if p == nil || p.N == 0 {
 				continue
 			}
-			if err := e.Send(src, dst, p); err != nil {
+			if err := e.Send(ctx, src, dst, p); err != nil {
 				break loop
 			}
 		}
@@ -140,6 +161,38 @@ loop:
 	if err := op.Close(); err != nil {
 		e.Abort(err)
 	}
+}
+
+// Drain empties every channel after all producers and consumers have
+// stopped, retiring parked batches from the flight tracker — the early-
+// stop path (error, LIMIT, cancel) otherwise leaks whatever the buffers
+// held. Drained batches are dropped to the GC, NOT returned to the pool:
+// a broadcast batch may sit in several destination buffers at once, and
+// double-pooling one would corrupt every later query sharing the pool.
+// It returns how many batches were retired. The caller must guarantee no
+// Send or Recv is still running.
+func (e *Exchange) Drain() int {
+	n := 0
+	for _, row := range e.chans {
+		for _, ch := range row {
+		drainChan:
+			for {
+				select {
+				case b, ok := <-ch:
+					if !ok {
+						break drainChan // closed and empty
+					}
+					if b != nil {
+						e.fl.Dec()
+						n++
+					}
+				default:
+					break drainChan // open but empty
+				}
+			}
+		}
+	}
+	return n
 }
 
 // RecvOp streams one destination's inbound batches, draining sources in
@@ -153,9 +206,9 @@ type RecvOp struct {
 // NewRecvOp returns dst's receiving operator.
 func NewRecvOp(e *Exchange, dst int) *RecvOp { return &RecvOp{e: e, dst: dst} }
 
-func (o *RecvOp) Open() error { return nil }
+func (o *RecvOp) Open(ctx context.Context) error { return nil }
 
-func (o *RecvOp) Next() (*Batch, error) {
+func (o *RecvOp) Next(ctx context.Context) (*Batch, error) {
 	for o.src < o.e.n {
 		select {
 		case b, ok := <-o.e.chans[o.src][o.dst]:
@@ -167,6 +220,8 @@ func (o *RecvOp) Next() (*Batch, error) {
 			return b, nil
 		case <-o.e.done:
 			return nil, o.e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
 		}
 	}
 	// All producers closed cleanly; surface a late abort if one happened.

@@ -1,0 +1,112 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"redshift/internal/faults"
+)
+
+// TestExchangeDrainRetiresParkedBatches covers the early-stop leak: a
+// consumer that never pulls leaves batches parked in the exchange buffers,
+// and Drain must retire every one from the flight tracker.
+func TestExchangeDrainRetiresParkedBatches(t *testing.T) {
+	fl := NewFlightTracker(nil)
+	e := NewExchange(2, 4, nil, fl)
+
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := e.Send(ctx, 0, 1, intBatch([]int64{int64(i)}, nil)); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if got := fl.Current(); got != 3 {
+		t.Fatalf("in flight after sends = %d, want 3", got)
+	}
+	// The consumer dies without receiving (LIMIT satisfied, error, cancel).
+	e.Abort(errors.New("consumer stopped early"))
+
+	if n := e.Drain(); n != 3 {
+		t.Errorf("Drain retired %d batches, want 3", n)
+	}
+	if got := fl.Current(); got != 0 {
+		t.Errorf("in flight after Drain = %d, want 0", got)
+	}
+	// Drain is idempotent.
+	if n := e.Drain(); n != 0 {
+		t.Errorf("second Drain retired %d batches, want 0", n)
+	}
+}
+
+// TestExchangeSendUnblocksOnCancel: a producer blocked on a full buffer must
+// return promptly when the query context is cancelled, undoing its flight
+// count so nothing leaks.
+func TestExchangeSendUnblocksOnCancel(t *testing.T) {
+	fl := NewFlightTracker(nil)
+	e := NewExchange(1, 1, nil, fl)
+	ctx, cancel := context.WithCancel(context.Background())
+
+	if err := e.Send(ctx, 0, 0, intBatch([]int64{1}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Buffer is full: this send blocks until cancel.
+		errc <- e.Send(ctx, 0, 0, intBatch([]int64{2}, nil))
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	wg.Wait()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Errorf("blocked send returned %v, want context.Canceled", err)
+	}
+	// One batch parked, the cancelled one already un-counted.
+	if got := fl.Current(); got != 1 {
+		t.Errorf("in flight = %d, want 1 (only the parked batch)", got)
+	}
+	if n := e.Drain(); n != 1 {
+		t.Errorf("Drain retired %d, want 1", n)
+	}
+	if got := fl.Current(); got != 0 {
+		t.Errorf("in flight after Drain = %d, want 0", got)
+	}
+}
+
+// TestExchangeSendFaultAborts: an injected link failure on the send site
+// aborts the whole exchange so every peer unwinds, and the lost batch is
+// never counted in flight.
+func TestExchangeSendFaultAborts(t *testing.T) {
+	fl := NewFlightTracker(nil)
+	e := NewExchange(2, 2, nil, fl)
+	inj := faults.NewInjector(&faults.Plan{Seed: 5, Sites: map[string]faults.Rule{
+		faults.SiteExchangeSend: {Prob: 1, Err: "link reset"},
+	}})
+	inj.SetEnabled(true)
+	e.SetFaults(inj)
+
+	err := e.Send(context.Background(), 0, 1, intBatch([]int64{1}, nil))
+	if err == nil {
+		t.Fatal("send succeeded through a dead link")
+	}
+	if !strings.Contains(err.Error(), "link reset") {
+		t.Errorf("send error %q does not carry the injected fault", err)
+	}
+	if e.Err() == nil {
+		t.Error("exchange not aborted after link failure")
+	}
+	if got := fl.Current(); got != 0 {
+		t.Errorf("in flight = %d after failed send, want 0", got)
+	}
+	// Receivers observe the abort rather than hanging.
+	recv := NewRecvOp(e, 1)
+	if _, rerr := recv.Next(context.Background()); rerr == nil {
+		t.Error("receiver returned no error from an aborted exchange")
+	}
+}

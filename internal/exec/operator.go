@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"sync/atomic"
 	"time"
 
@@ -16,9 +17,15 @@ import (
 // of being fully materialized between stages. Next returns (nil, nil) at
 // end of stream. Operators are single-consumer: one goroutine drives a
 // chain end to end.
+//
+// The context flows through every pull so cancellation (Database.Cancel,
+// statement_timeout) reaches the leaves: scans check it per block pull
+// and exchange receives select on it, bounding abort latency to one
+// batch boundary. Close never takes a context — cleanup must run even
+// after cancellation.
 type Operator interface {
-	Open() error
-	Next() (*Batch, error)
+	Open(ctx context.Context) error
+	Next(ctx context.Context) (*Batch, error)
 	Close() error
 }
 
@@ -32,9 +39,9 @@ type BatchSource struct {
 // NewBatchSource wraps batches as an Operator.
 func NewBatchSource(batches []*Batch) *BatchSource { return &BatchSource{batches: batches} }
 
-func (s *BatchSource) Open() error { return nil }
+func (s *BatchSource) Open(ctx context.Context) error { return nil }
 
-func (s *BatchSource) Next() (*Batch, error) {
+func (s *BatchSource) Next(ctx context.Context) (*Batch, error) {
 	for s.i < len(s.batches) {
 		b := s.batches[s.i]
 		s.i++
@@ -61,10 +68,15 @@ func NewScanOp(sc *Scanner, segs []*storage.Segment) *ScanOp {
 	return &ScanOp{sc: sc, segs: segs}
 }
 
-func (o *ScanOp) Open() error { return nil }
+func (o *ScanOp) Open(ctx context.Context) error { return nil }
 
-func (o *ScanOp) Next() (*Batch, error) {
+func (o *ScanOp) Next(ctx context.Context) (*Batch, error) {
 	for o.si < len(o.segs) {
+		// The per-pull check is what bounds cancellation latency at the
+		// pipeline's leaves.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		seg := o.segs[o.si]
 		if o.bi >= seg.NumBlocks() {
 			o.si++
@@ -76,7 +88,7 @@ func (o *ScanOp) Next() (*Batch, error) {
 		}
 		bi := o.bi
 		o.bi++
-		b, err := o.sc.ScanBlock(seg, bi)
+		b, err := o.sc.ScanBlock(ctx, seg, bi)
 		if err != nil {
 			return nil, err
 		}
@@ -104,11 +116,11 @@ func NewFilterOp(mode Mode, pred plan.Expr, child Operator) (*FilterOp, error) {
 	return &FilterOp{child: child, f: f}, nil
 }
 
-func (o *FilterOp) Open() error { return o.child.Open() }
+func (o *FilterOp) Open(ctx context.Context) error { return o.child.Open(ctx) }
 
-func (o *FilterOp) Next() (*Batch, error) {
+func (o *FilterOp) Next(ctx context.Context) (*Batch, error) {
 	for {
-		b, err := o.child.Next()
+		b, err := o.child.Next(ctx)
 		if err != nil || b == nil {
 			return nil, err
 		}
@@ -147,10 +159,10 @@ func NewProjectOp(mode Mode, exprs []plan.Expr, child Operator) (*ProjectOp, err
 	return &ProjectOp{child: child, proj: proj}, nil
 }
 
-func (o *ProjectOp) Open() error { return o.child.Open() }
+func (o *ProjectOp) Open(ctx context.Context) error { return o.child.Open(ctx) }
 
-func (o *ProjectOp) Next() (*Batch, error) {
-	b, err := o.child.Next()
+func (o *ProjectOp) Next(ctx context.Context) (*Batch, error) {
+	b, err := o.child.Next(ctx)
 	if err != nil || b == nil {
 		return nil, err
 	}
@@ -173,13 +185,13 @@ func NewHashJoinOp(join *HashJoin, build, probe Operator) *HashJoinOp {
 	return &HashJoinOp{join: join, build: build, probe: probe}
 }
 
-func (o *HashJoinOp) Open() error {
-	if err := o.build.Open(); err != nil {
+func (o *HashJoinOp) Open(ctx context.Context) error {
+	if err := o.build.Open(ctx); err != nil {
 		o.build.Close()
 		return err
 	}
 	for {
-		b, err := o.build.Next()
+		b, err := o.build.Next(ctx)
 		if err != nil {
 			o.build.Close()
 			return err
@@ -195,12 +207,12 @@ func (o *HashJoinOp) Open() error {
 	if err := o.build.Close(); err != nil {
 		return err
 	}
-	return o.probe.Open()
+	return o.probe.Open(ctx)
 }
 
-func (o *HashJoinOp) Next() (*Batch, error) {
+func (o *HashJoinOp) Next(ctx context.Context) (*Batch, error) {
 	for {
-		b, err := o.probe.Next()
+		b, err := o.probe.Next(ctx)
 		if err != nil || b == nil {
 			return nil, err
 		}
@@ -235,15 +247,15 @@ func NewPartialAggOp(gt *GroupTable, child Operator) *PartialAggOp {
 	return &PartialAggOp{child: child, gt: gt}
 }
 
-func (o *PartialAggOp) Open() error { return o.child.Open() }
+func (o *PartialAggOp) Open(ctx context.Context) error { return o.child.Open(ctx) }
 
-func (o *PartialAggOp) Next() (*Batch, error) {
+func (o *PartialAggOp) Next(ctx context.Context) (*Batch, error) {
 	if o.done {
 		return nil, nil
 	}
 	o.done = true
 	for {
-		b, err := o.child.Next()
+		b, err := o.child.Next(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -277,12 +289,12 @@ func NewStreamDistinctOp(child Operator) *StreamDistinctOp {
 	return &StreamDistinctOp{child: child, seen: map[string]bool{}}
 }
 
-func (o *StreamDistinctOp) Open() error { return o.child.Open() }
+func (o *StreamDistinctOp) Open(ctx context.Context) error { return o.child.Open(ctx) }
 
-func (o *StreamDistinctOp) Next() (*Batch, error) {
+func (o *StreamDistinctOp) Next(ctx context.Context) (*Batch, error) {
 	row := make([]types.Value, 0, 8)
 	for {
-		b, err := o.child.Next()
+		b, err := o.child.Next(ctx)
 		if err != nil || b == nil {
 			return nil, err
 		}
@@ -335,16 +347,16 @@ func NewTopNOp(child Operator, keys []plan.OrderKey, limit int64, width int) *To
 	return &TopNOp{child: child, keys: keys, limit: limit, width: width}
 }
 
-func (o *TopNOp) Open() error { return o.child.Open() }
+func (o *TopNOp) Open(ctx context.Context) error { return o.child.Open(ctx) }
 
-func (o *TopNOp) Next() (*Batch, error) {
+func (o *TopNOp) Next(ctx context.Context) (*Batch, error) {
 	if o.done {
 		return nil, nil
 	}
 	o.done = true
 	merged := NewBatch(o.width)
 	for {
-		b, err := o.child.Next()
+		b, err := o.child.Next(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -377,9 +389,9 @@ func NewGroupMergeOp(tables []*GroupTable, ship func(sl int, t *GroupTable)) *Gr
 	return &GroupMergeOp{tables: tables, ship: ship}
 }
 
-func (o *GroupMergeOp) Open() error { return nil }
+func (o *GroupMergeOp) Open(ctx context.Context) error { return nil }
 
-func (o *GroupMergeOp) Next() (*Batch, error) {
+func (o *GroupMergeOp) Next(ctx context.Context) (*Batch, error) {
 	if o.done {
 		return nil, nil
 	}
@@ -416,7 +428,7 @@ func NewLeaderMergeOp(perSlice [][]*Batch, keys []plan.OrderKey, sorted bool) *L
 	return &LeaderMergeOp{perSlice: perSlice, keys: keys, sorted: sorted}
 }
 
-func (o *LeaderMergeOp) Open() error {
+func (o *LeaderMergeOp) Open(ctx context.Context) error {
 	if !o.sorted {
 		for _, bs := range o.perSlice {
 			o.flat = append(o.flat, bs...)
@@ -425,7 +437,7 @@ func (o *LeaderMergeOp) Open() error {
 	return nil
 }
 
-func (o *LeaderMergeOp) Next() (*Batch, error) {
+func (o *LeaderMergeOp) Next(ctx context.Context) (*Batch, error) {
 	if o.sorted {
 		if o.done {
 			return nil, nil
@@ -469,16 +481,16 @@ func NewFinalizeOp(child Operator, distinct bool, keys []plan.OrderKey, limit in
 	return &FinalizeOp{child: child, distinct: distinct, keys: keys, limit: limit, width: width}
 }
 
-func (o *FinalizeOp) Open() error { return o.child.Open() }
+func (o *FinalizeOp) Open(ctx context.Context) error { return o.child.Open(ctx) }
 
-func (o *FinalizeOp) Next() (*Batch, error) {
+func (o *FinalizeOp) Next(ctx context.Context) (*Batch, error) {
 	if o.done {
 		return nil, nil
 	}
 	o.done = true
 	merged := NewBatch(o.width)
 	for {
-		b, err := o.child.Next()
+		b, err := o.child.Next(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -595,22 +607,22 @@ func Instrument(op Operator, st *OpStats, fl *FlightTracker) Operator {
 	return &instrumented{op: op, st: st, fl: fl}
 }
 
-func (o *instrumented) Open() error {
+func (o *instrumented) Open(ctx context.Context) error {
 	start := time.Now()
-	err := o.op.Open()
+	err := o.op.Open(ctx)
 	if o.st != nil {
 		o.st.Nanos.Add(int64(time.Since(start)))
 	}
 	return err
 }
 
-func (o *instrumented) Next() (*Batch, error) {
+func (o *instrumented) Next(ctx context.Context) (*Batch, error) {
 	if o.outstanding {
 		o.fl.Dec()
 		o.outstanding = false
 	}
 	start := time.Now()
-	b, err := o.op.Next()
+	b, err := o.op.Next(ctx)
 	if o.st != nil {
 		o.st.Nanos.Add(int64(time.Since(start)))
 	}

@@ -1,10 +1,12 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
 
+	"redshift/internal/faults"
 	"redshift/internal/plan"
 	"redshift/internal/storage"
 	"redshift/internal/types"
@@ -12,8 +14,9 @@ import (
 
 // BlockFetcher resolves a non-resident block's payload — the page-fault
 // path of streaming restore (§2.3: "'page-faulting' in blocks when
-// unavailable on local storage").
-type BlockFetcher func(b *storage.Block) error
+// unavailable on local storage"). It reports how many backoff retries
+// the fail-over spent, feeding the per-scan `retries` counter.
+type BlockFetcher func(ctx context.Context, b *storage.Block) (retries int, err error)
 
 // ScanStats counts block skipping effectiveness, the quantity behind the
 // zone-map ablation (A2), plus the buffer-cache and decode accounting.
@@ -31,6 +34,11 @@ type ScanStats struct {
 	// CacheHits/CacheMisses count buffer-cache lookups by this scan.
 	CacheHits   atomic.Int64
 	CacheMisses atomic.Int64
+	// Retries counts backoff retries the fail-over read path spent;
+	// FailoverReads counts blocks ultimately served by a non-primary
+	// replica (secondary or S3). Both surface in EXPLAIN ANALYZE.
+	Retries       atomic.Int64
+	FailoverReads atomic.Int64
 }
 
 // Scanner reads one table's segments on one slice: zone-map pruning
@@ -48,6 +56,10 @@ type Scanner struct {
 	fetch      BlockFetcher
 	stats      *ScanStats
 	cache      *storage.BlockCache
+	// inj fires the storage.read.primary site before each decode — an
+	// injected error is treated as a local media failure and fails over
+	// through fetch like a non-resident block.
+	inj *faults.Injector
 
 	selbuf []int // reusable selection buffer
 }
@@ -92,17 +104,21 @@ func NewScanner(mode Mode, scan *plan.TableScan, fetch BlockFetcher, stats *Scan
 // SetCache attaches a decoded-block buffer cache (nil disables).
 func (s *Scanner) SetCache(c *storage.BlockCache) { s.cache = c }
 
+// SetFaults attaches a fault injector to the primary read path (nil
+// detaches).
+func (s *Scanner) SetFaults(inj *faults.Injector) { s.inj = inj }
+
 // Stats exposes the scan counters.
 func (s *Scanner) Stats() *ScanStats { return s.stats }
 
 // ScanSegment streams the surviving rows of one segment as table-local
 // batches (nil vectors for unneeded columns).
-func (s *Scanner) ScanSegment(seg *storage.Segment, emit func(*Batch) error) error {
+func (s *Scanner) ScanSegment(ctx context.Context, seg *storage.Segment, emit func(*Batch) error) error {
 	if seg.Schema.Len() != s.width {
 		return fmt.Errorf("exec: segment width %d, scanner width %d", seg.Schema.Len(), s.width)
 	}
 	for bi := 0; bi < seg.NumBlocks(); bi++ {
-		out, err := s.ScanBlock(seg, bi)
+		out, err := s.ScanBlock(ctx, seg, bi)
 		if err != nil {
 			return err
 		}
@@ -121,7 +137,7 @@ func (s *Scanner) ScanSegment(seg *storage.Segment, emit func(*Batch) error) err
 // compacted with a single gather. Returns nil when the block is pruned
 // or no row survives — the unit of work one ScanOp.Next pull performs.
 // Emitted batches come from the batch pool; the consumer owns them.
-func (s *Scanner) ScanBlock(seg *storage.Segment, bi int) (*Batch, error) {
+func (s *Scanner) ScanBlock(ctx context.Context, seg *storage.Segment, bi int) (*Batch, error) {
 	if s.pruned(seg, bi) {
 		s.stats.BlocksSkipped.Add(int64(len(s.needCols)))
 		return nil, nil
@@ -143,7 +159,7 @@ func (s *Scanner) ScanBlock(seg *storage.Segment, bi int) (*Batch, error) {
 	batch := GetBatch(s.width)
 	batch.N = nrows
 	for _, c := range s.filterCols {
-		if err := s.materialize(seg, c, bi, batch); err != nil {
+		if err := s.materialize(ctx, seg, c, bi, batch); err != nil {
 			PutBatch(batch)
 			return nil, err
 		}
@@ -163,7 +179,7 @@ func (s *Scanner) ScanBlock(seg *storage.Segment, bi int) (*Batch, error) {
 	}
 
 	for _, c := range s.restCols {
-		if err := s.materialize(seg, c, bi, batch); err != nil {
+		if err := s.materialize(ctx, seg, c, bi, batch); err != nil {
 			PutBatch(batch)
 			return nil, err
 		}
@@ -184,7 +200,7 @@ func (s *Scanner) ScanBlock(seg *storage.Segment, bi int) (*Batch, error) {
 
 // materialize installs column c of block bi into the batch, from the
 // buffer cache when possible, decoding (and page-faulting) otherwise.
-func (s *Scanner) materialize(seg *storage.Segment, c, bi int, batch *Batch) error {
+func (s *Scanner) materialize(ctx context.Context, seg *storage.Segment, c, bi int, batch *Batch) error {
 	blk := seg.Block(c, bi)
 	if v, ok := s.cache.Get(blk.ID); ok {
 		// Hand out a capacity-clamped view: cached vectors are shared
@@ -197,7 +213,7 @@ func (s *Scanner) materialize(seg *storage.Segment, c, bi int, batch *Batch) err
 	if s.cache != nil {
 		s.stats.CacheMisses.Add(1)
 	}
-	v, err := s.decode(blk)
+	v, err := s.decode(ctx, blk)
 	if err != nil {
 		return err
 	}
@@ -222,8 +238,18 @@ func (s *Scanner) pruned(seg *storage.Segment, bi int) bool {
 	return false
 }
 
-// decode reads a block, page-faulting its payload if evicted.
-func (s *Scanner) decode(blk *storage.Block) (*types.Vector, error) {
+// decode reads a block, page-faulting its payload if evicted. An
+// injected primary-read fault (a local media error) takes the same
+// fail-over path as a non-resident block: re-fetch from a replica.
+func (s *Scanner) decode(ctx context.Context, blk *storage.Block) (*types.Vector, error) {
+	if s.inj != nil {
+		if ferr := s.inj.Hit(faults.SitePrimaryRead); ferr != nil {
+			if s.fetch == nil {
+				return nil, ferr
+			}
+			return s.pageFault(ctx, blk)
+		}
+	}
 	v, err := blk.Decode()
 	if err == nil {
 		return v, nil
@@ -231,9 +257,18 @@ func (s *Scanner) decode(blk *storage.Block) (*types.Vector, error) {
 	if !errors.Is(err, storage.ErrNotResident) || s.fetch == nil {
 		return nil, err
 	}
+	return s.pageFault(ctx, blk)
+}
+
+// pageFault fails a block read over to the replica tiers through the
+// fetcher, accounting retries and the fail-over read.
+func (s *Scanner) pageFault(ctx context.Context, blk *storage.Block) (*types.Vector, error) {
 	s.stats.PageFaults.Add(1)
-	if ferr := s.fetch(blk); ferr != nil {
+	retries, ferr := s.fetch(ctx, blk)
+	s.stats.Retries.Add(int64(retries))
+	if ferr != nil {
 		return nil, fmt.Errorf("exec: page fault for %s: %w", blk.ID, ferr)
 	}
+	s.stats.FailoverReads.Add(1)
 	return blk.Decode()
 }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -65,7 +66,7 @@ func TestScannerZoneMapPruning(t *testing.T) {
 		t.Fatal(err)
 	}
 	var rows int
-	if err := sc.ScanSegment(seg, func(b *Batch) error {
+	if err := sc.ScanSegment(context.Background(), seg, func(b *Batch) error {
 		rows += b.N
 		return nil
 	}); err != nil {
@@ -97,7 +98,7 @@ func TestScannerLateMaterialization(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = sc.ScanSegment(seg, func(b *Batch) error {
+	err = sc.ScanSegment(context.Background(), seg, func(b *Batch) error {
 		if b.Cols[0] != nil {
 			return errors.New("unneeded column was materialized")
 		}
@@ -122,12 +123,12 @@ func TestScannerPageFaults(t *testing.T) {
 		payloads[b.ID] = append([]byte(nil), b.Payload()...)
 		b.Evict()
 	})
-	fetch := func(b *storage.Block) error {
+	fetch := func(_ context.Context, b *storage.Block) (int, error) {
 		p, ok := payloads[b.ID]
 		if !ok {
-			return fmt.Errorf("no payload for %s", b.ID)
+			return 0, fmt.Errorf("no payload for %s", b.ID)
 		}
-		return b.Fill(p)
+		return 0, b.Fill(p)
 	}
 	spec := scanSpec(def, 1000)
 	spec.Filter, spec.Ranges = nil, nil
@@ -136,7 +137,7 @@ func TestScannerPageFaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	rows := 0
-	if err := sc.ScanSegment(seg, func(b *Batch) error {
+	if err := sc.ScanSegment(context.Background(), seg, func(b *Batch) error {
 		rows += b.N
 		return nil
 	}); err != nil {
@@ -156,7 +157,7 @@ func TestScannerNoFetcherFailsOnEvicted(t *testing.T) {
 	spec := scanSpec(def, 1000)
 	spec.Filter, spec.Ranges = nil, nil
 	sc, _ := NewScanner(Compiled, spec, nil, nil)
-	err := sc.ScanSegment(seg, func(*Batch) error { return nil })
+	err := sc.ScanSegment(context.Background(), seg, func(*Batch) error { return nil })
 	if !errors.Is(err, storage.ErrNotResident) {
 		t.Errorf("err = %v, want ErrNotResident", err)
 	}
@@ -172,7 +173,7 @@ func TestScannerWidthMismatch(t *testing.T) {
 	}
 	spec := &plan.TableScan{Def: wrong, NeedCols: []int{0}}
 	sc, _ := NewScanner(Compiled, spec, nil, nil)
-	if err := sc.ScanSegment(seg, func(*Batch) error { return nil }); err == nil {
+	if err := sc.ScanSegment(context.Background(), seg, func(*Batch) error { return nil }); err == nil {
 		t.Error("width mismatch accepted")
 	}
 }
@@ -220,7 +221,7 @@ func TestScannerPredicateShortCircuit(t *testing.T) {
 		t.Fatal(err)
 	}
 	var rows int
-	if err := sc.ScanSegment(seg, func(b *Batch) error {
+	if err := sc.ScanSegment(context.Background(), seg, func(b *Batch) error {
 		rows += b.N
 		return nil
 	}); err != nil {
@@ -265,7 +266,7 @@ func TestScannerBufferCache(t *testing.T) {
 		}
 		sc.SetCache(cache)
 		var got []int64
-		if err := sc.ScanSegment(seg, func(b *Batch) error {
+		if err := sc.ScanSegment(context.Background(), seg, func(b *Batch) error {
 			for i := 0; i < b.N; i++ {
 				got = append(got, b.Cols[0].Ints[i])
 			}
@@ -317,7 +318,7 @@ func TestScannerMetadataOnlyScan(t *testing.T) {
 	// Evict every block: a metadata-only scan must not even notice.
 	seg.Blocks(func(b *storage.Block) { b.Evict() })
 	rows := 0
-	if err := sc.ScanSegment(seg, func(b *Batch) error {
+	if err := sc.ScanSegment(context.Background(), seg, func(b *Batch) error {
 		for _, c := range b.Cols {
 			if c != nil {
 				return errors.New("metadata-only scan materialized a column")

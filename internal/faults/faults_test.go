@@ -1,0 +1,182 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsSafe(t *testing.T) {
+	var in *Injector
+	if err := in.Hit(SitePrimaryRead); err != nil {
+		t.Fatalf("nil injector injected: %v", err)
+	}
+	in.SetEnabled(true)
+	in.SetRule("x", Rule{Prob: 1})
+	if in.Enabled() {
+		t.Fatal("nil injector reports enabled")
+	}
+	if got := in.Snapshot(); got != nil {
+		t.Fatalf("nil injector snapshot = %v", got)
+	}
+	if in.Seed() != 0 {
+		t.Fatal("nil injector seed != 0")
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	run := func() []bool {
+		in := NewInjector(&Plan{Seed: 42, Sites: map[string]Rule{"s": {Prob: 0.3}}})
+		in.sleep = func(time.Duration) {}
+		var outcomes []bool
+		for i := 0; i < 200; i++ {
+			outcomes = append(outcomes, in.Hit("s") != nil)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d differs between identically-seeded runs", i)
+		}
+	}
+	injected := 0
+	for _, x := range a {
+		if x {
+			injected++
+		}
+	}
+	if injected == 0 || injected == len(a) {
+		t.Fatalf("Prob 0.3 over 200 hits injected %d errors", injected)
+	}
+}
+
+func TestCountCapsInjections(t *testing.T) {
+	in := NewInjector(&Plan{Seed: 7, Sites: map[string]Rule{"s": {Prob: 1, Count: 3}}})
+	errs := 0
+	for i := 0; i < 50; i++ {
+		if in.Hit("s") != nil {
+			errs++
+		}
+	}
+	if errs != 3 {
+		t.Fatalf("Count=3 injected %d errors", errs)
+	}
+	snap := in.Snapshot()
+	if len(snap) != 1 || snap[0].Hits != 50 || snap[0].Injected != 3 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestEnableToggleAndUnknownSiteCounting(t *testing.T) {
+	in := NewInjector(&Plan{Seed: 1, Disabled: true, Sites: map[string]Rule{"s": {Prob: 1}}})
+	if in.Hit("s") != nil {
+		t.Fatal("disabled injector injected")
+	}
+	in.SetEnabled(true)
+	if in.Hit("s") == nil {
+		t.Fatal("enabled Prob=1 did not inject")
+	}
+	in.Hit("unruled.site") // no rule: counted, never errors
+	var found *SiteSnapshot
+	snap := in.Snapshot()
+	for i := range snap {
+		if snap[i].Site == "unruled.site" {
+			found = &snap[i]
+		}
+	}
+	if found == nil || found.Hits != 1 || found.Injected != 0 {
+		t.Fatalf("unruled site snapshot = %+v", found)
+	}
+}
+
+func TestLatencySchedule(t *testing.T) {
+	in := NewInjector(&Plan{Seed: 1, Sites: map[string]Rule{"s": {Latency: time.Hour}}})
+	var slept time.Duration
+	in.sleep = func(d time.Duration) { slept += d }
+	if err := in.Hit("s"); err != nil {
+		t.Fatalf("latency-only rule injected error: %v", err)
+	}
+	if slept != time.Hour {
+		t.Fatalf("slept %v, want 1h (recorded, not real)", slept)
+	}
+	if in.Snapshot()[0].Delayed != 1 {
+		t.Fatal("delayed counter not incremented")
+	}
+}
+
+func TestIsInjected(t *testing.T) {
+	in := NewInjector(&Plan{Seed: 1, Sites: map[string]Rule{"s": {Prob: 1, Err: "disk on fire"}}})
+	err := in.Hit("s")
+	if !IsInjected(err) {
+		t.Fatalf("IsInjected(%v) = false", err)
+	}
+	if IsInjected(errors.New("real failure")) {
+		t.Fatal("IsInjected(real error) = true")
+	}
+	wrapped := fmt.Errorf("fetch: %w", err)
+	if !IsInjected(wrapped) {
+		t.Fatal("IsInjected does not see through wrapping")
+	}
+}
+
+func TestRetrySucceedsAfterTransients(t *testing.T) {
+	calls := 0
+	attempts, err := Policy{MaxAttempts: 5, Base: time.Microsecond, Max: time.Microsecond}.Do(context.Background(), func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || attempts != 3 {
+		t.Fatalf("attempts=%d err=%v", attempts, err)
+	}
+}
+
+func TestRetryStopsOnPermanent(t *testing.T) {
+	base := errors.New("no such copy")
+	calls := 0
+	attempts, err := Policy{MaxAttempts: 5, Base: time.Microsecond}.Do(context.Background(), func() error {
+		calls++
+		return Permanent(base)
+	})
+	if calls != 1 || attempts != 1 {
+		t.Fatalf("permanent error retried: calls=%d", calls)
+	}
+	if !errors.Is(err, base) {
+		t.Fatalf("err = %v, want unwrapped base", err)
+	}
+	if IsPermanent(err) {
+		t.Fatal("Do should unwrap the Permanent marker")
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	calls := 0
+	attempts, err := Policy{MaxAttempts: 4, Base: time.Microsecond, Max: time.Microsecond}.Do(context.Background(), func() error {
+		calls++
+		return errors.New("still down")
+	})
+	if calls != 4 || attempts != 4 || err == nil {
+		t.Fatalf("calls=%d attempts=%d err=%v", calls, attempts, err)
+	}
+}
+
+func TestRetryHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	_, err := Policy{MaxAttempts: 100, Base: time.Hour}.Do(ctx, func() error {
+		calls++
+		cancel() // cancel during the first backoff sleep
+		return errors.New("transient")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("made %d calls after cancellation", calls)
+	}
+}

@@ -1,0 +1,117 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Policy is the shared retry discipline for transient read failures:
+// exponential backoff with full jitter, bounded attempts, and immediate
+// abort on context cancellation or a Permanent error. One policy serves
+// the page-fault read path (primary → secondary → S3), backup restore
+// and COPY's object reads.
+type Policy struct {
+	// MaxAttempts is the total number of tries (first call included).
+	// <= 0 means the default of 3.
+	MaxAttempts int
+	// Base is the first backoff delay (default 200µs — the in-process
+	// "network" is fast; production policies scale this up).
+	Base time.Duration
+	// Max caps the backoff delay (default 5ms).
+	Max time.Duration
+	// Jitter in [0,1] randomizes each delay to delay*(1±Jitter/2),
+	// decorrelating retry storms (default 0.5).
+	Jitter float64
+}
+
+// DefaultPolicy is the policy used when a zero value is supplied.
+var DefaultPolicy = Policy{MaxAttempts: 3, Base: 200 * time.Microsecond, Max: 5 * time.Millisecond, Jitter: 0.5}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultPolicy.MaxAttempts
+	}
+	if p.Base <= 0 {
+		p.Base = DefaultPolicy.Base
+	}
+	if p.Max <= 0 {
+		p.Max = DefaultPolicy.Max
+	}
+	if p.Jitter <= 0 {
+		p.Jitter = DefaultPolicy.Jitter
+	}
+	return p
+}
+
+// permanentError marks a failure retrying cannot fix.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Policy.Do stops immediately instead of burning
+// attempts on a deterministic failure (a missing secondary copy, a
+// corrupt object). A nil err stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err was wrapped by Permanent.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// Do runs fn up to p.MaxAttempts times, sleeping a jittered exponential
+// backoff between failures. It returns the number of attempts made and
+// the last error (unwrapped from Permanent). ctx cancellation ends the
+// loop between attempts and during a backoff sleep.
+func (p Policy) Do(ctx context.Context, fn func() error) (attempts int, err error) {
+	p = p.withDefaults()
+	delay := p.Base
+	for attempt := 1; ; attempt++ {
+		err = fn()
+		if err == nil {
+			return attempt, nil
+		}
+		if IsPermanent(err) {
+			var pe *permanentError
+			errors.As(err, &pe)
+			return attempt, pe.err
+		}
+		if attempt >= p.MaxAttempts {
+			return attempt, err
+		}
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return attempt, cerr
+			}
+		}
+		d := delay
+		if p.Jitter > 0 {
+			// rand's global source is concurrency-safe; determinism here
+			// doesn't matter (the injector's RNG decides *what* fails).
+			d = time.Duration(float64(d) * (1 + p.Jitter*(rand.Float64()-0.5)))
+		}
+		if ctx != nil {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return attempt, ctx.Err()
+			}
+		} else {
+			time.Sleep(d)
+		}
+		delay *= 2
+		if delay > p.Max {
+			delay = p.Max
+		}
+	}
+}

@@ -12,6 +12,7 @@ package load
 import (
 	"bytes"
 	"compress/gzip"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -22,6 +23,7 @@ import (
 	"redshift/internal/catalog"
 	"redshift/internal/cluster"
 	"redshift/internal/compress"
+	"redshift/internal/faults"
 	"redshift/internal/hll"
 	"redshift/internal/s3sim"
 	"redshift/internal/storage"
@@ -222,7 +224,14 @@ func parseObjects(workers int, store *s3sim.Store, keys []string,
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
-				data, err := store.Get(keys[idx])
+				// Data-lake reads retry with backoff: one flaky GET must
+				// not fail a whole COPY.
+				var data []byte
+				_, err := faults.DefaultPolicy.Do(context.Background(), func() error {
+					var gerr error
+					data, gerr = store.Get(keys[idx])
+					return gerr
+				})
 				if err != nil {
 					outs <- parsed{idx: idx, err: err}
 					continue

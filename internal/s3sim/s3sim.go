@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"redshift/internal/faults"
 	"redshift/internal/sim"
 )
 
@@ -35,6 +36,13 @@ type Store struct {
 	clock   sim.Clock
 	latency time.Duration
 	mbps    float64
+
+	// Fault injection. When inj is non-nil, Get/Put consult the sites
+	// "<sitePrefix>.get" / "<sitePrefix>.put" before touching the map —
+	// the request either sleeps (latency rule), errors (probability
+	// rule), or proceeds.
+	inj        *faults.Injector
+	sitePrefix string
 
 	gets, puts, deletes, lists atomic.Int64
 	bytesIn, bytesOut          atomic.Int64
@@ -65,10 +73,23 @@ func (s *Store) delay(bytes int) {
 	s.clock.Sleep(d)
 }
 
+// WithFaults routes requests through an injector under the given site
+// prefix ("s3.data", "s3.backup"); nil detaches.
+func (s *Store) WithFaults(inj *faults.Injector, sitePrefix string) *Store {
+	s.inj = inj
+	s.sitePrefix = sitePrefix
+	return s
+}
+
 // Put stores an object (full overwrite, last write wins).
 func (s *Store) Put(key string, data []byte) error {
 	if key == "" {
 		return fmt.Errorf("s3sim: empty key")
+	}
+	if s.inj != nil {
+		if err := s.inj.Hit(s.sitePrefix + ".put"); err != nil {
+			return err
+		}
 	}
 	s.delay(len(data))
 	cp := append([]byte(nil), data...)
@@ -82,6 +103,11 @@ func (s *Store) Put(key string, data []byte) error {
 
 // Get retrieves an object.
 func (s *Store) Get(key string) ([]byte, error) {
+	if s.inj != nil {
+		if err := s.inj.Hit(s.sitePrefix + ".get"); err != nil {
+			return nil, err
+		}
+	}
 	s.mu.RLock()
 	data, ok := s.objects[key]
 	s.mu.RUnlock()

@@ -285,6 +285,26 @@ func (*Truncate) stmt() {}
 
 func (t *Truncate) String() string { return "TRUNCATE " + ident(t.Table) }
 
+// Set assigns a session option (SET statement_timeout TO 500). Values are
+// kept as raw token text; the executor interprets them per option.
+type Set struct {
+	Name  string
+	Value string
+}
+
+func (*Set) stmt() {}
+
+func (s *Set) String() string { return "SET " + ident(s.Name) + " TO " + s.Value }
+
+// Cancel aborts a running query by its stl_query id.
+type Cancel struct {
+	ID int64
+}
+
+func (*Cancel) stmt() {}
+
+func (c *Cancel) String() string { return "CANCEL " + strconv.FormatInt(c.ID, 10) }
+
 // Select is a SELECT query.
 type Select struct {
 	Distinct bool

@@ -44,7 +44,7 @@ var keywords = map[string]bool{
 	"TRUNCATE": true, "COMPUPDATE": true, "STATUPDATE": true, "GZIP": true,
 	"DATE": true, "TIMESTAMP": true, "APPROXIMATE": true, "COUNT": true,
 	"PRECISION": true, "DOUBLE": true, "CHARACTER": true, "VARYING": true,
-	"CSV": true, "JSON": true,
+	"CSV": true, "JSON": true, "SET": true, "TO": true, "CANCEL": true,
 }
 
 // lex tokenizes the input. It returns a descriptive error with a byte

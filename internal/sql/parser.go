@@ -127,6 +127,29 @@ func (p *parser) parseStatement() (Statement, error) {
 			a.Table = p.next().text
 		}
 		return a, nil
+	case p.accept(tokKeyword, "SET"):
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(tokKeyword, "TO") && !p.accept(tokSymbol, "=") {
+			return nil, p.errorf("expected TO or = after SET %s", name.text)
+		}
+		t := p.next()
+		if t.kind != tokNumber && t.kind != tokString && t.kind != tokIdent && t.kind != tokKeyword {
+			return nil, p.errorf("expected a value after SET %s, found %q", name.text, t.text)
+		}
+		return &Set{Name: strings.ToLower(name.text), Value: t.text}, nil
+	case p.accept(tokKeyword, "CANCEL"):
+		t, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		id, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad query id %q", t.text)
+		}
+		return &Cancel{ID: id}, nil
 	case p.accept(tokKeyword, "TRUNCATE"):
 		p.accept(tokKeyword, "TABLE")
 		name, err := p.expect(tokIdent, "")

@@ -24,6 +24,10 @@ type QueryRecord struct {
 	NetBytes      int64
 	// Error is non-empty for aborted statements.
 	Error string
+	// State is the query's terminal state: "success", "error",
+	// "cancelled" (user CANCEL / context cancellation) or "timeout"
+	// (statement_timeout). Empty means success for old producers.
+	State string
 	// Trace is the query's span tree (may be nil for aborted plans).
 	Trace *Span
 }
@@ -48,12 +52,18 @@ func NewQueryLog(capacity int) *QueryLog {
 	return &QueryLog{buf: make([]QueryRecord, capacity)}
 }
 
-// Append records a completed query, assigns and returns its ID.
+// Append records a completed query and returns its ID. Records arriving
+// with a pre-assigned ID (queries registered for cancellation before they
+// ran) keep it; otherwise the log assigns the next sequence number.
 func (l *QueryLog) Append(r QueryRecord) int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.lastID++
-	r.ID = l.lastID
+	if r.ID == 0 {
+		l.lastID++
+		r.ID = l.lastID
+	} else if r.ID > l.lastID {
+		l.lastID = r.ID
+	}
 	l.buf[l.next] = r
 	l.next++
 	if l.next == len(l.buf) {

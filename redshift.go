@@ -17,19 +17,29 @@
 package redshift
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"redshift/internal/backup"
 	"redshift/internal/cluster"
 	"redshift/internal/controlplane"
 	"redshift/internal/core"
 	"redshift/internal/exec"
+	"redshift/internal/faults"
 	"redshift/internal/kms"
 	"redshift/internal/plan"
 	"redshift/internal/s3sim"
 	"redshift/internal/telemetry"
 	"redshift/internal/types"
 )
+
+// FaultPlan re-exports the fault-injection schedule type so callers can
+// configure chaos without importing the internal package.
+type FaultPlan = faults.Plan
+
+// FaultRule re-exports one site's injection rule.
+type FaultRule = faults.Rule
 
 // Options configure a warehouse. The paper's point is that these few knobs
 // (§3.3: "instance type and number of nodes") are all a customer sets.
@@ -64,6 +74,14 @@ type Options struct {
 	// 0 keeps the default (64 MiB), negative disables caching (ablations
 	// and allocation-sensitive benchmarks use that).
 	BlockCacheBytes int64
+	// FaultPlan seeds a deterministic fault injector across the storage,
+	// replication, object-store and exchange paths (nil = no injection).
+	// Toggle at runtime with SET fault_injection TO on|off; inspect with
+	// SELECT * FROM stv_faults.
+	FaultPlan *FaultPlan
+	// StatementTimeout bounds every SELECT's wall-clock time (0 =
+	// unlimited); SET statement_timeout TO <ms> overrides it per session.
+	StatementTimeout time.Duration
 }
 
 // Result is one statement's outcome.
@@ -93,6 +111,9 @@ type Warehouse struct {
 	// after a disaster restore.
 	active   *backup.Manager
 	nBackups int
+
+	// inj is the shared fault injector (nil when no FaultPlan was given).
+	inj *faults.Injector
 }
 
 // Launch provisions a warehouse. It is the programmatic analogue of the
@@ -110,6 +131,11 @@ func Launch(opts Options) (*Warehouse, error) {
 		dataLake: s3sim.New(),
 		backupS3: s3sim.New(),
 	}
+	if opts.FaultPlan != nil {
+		w.inj = faults.NewInjector(opts.FaultPlan)
+		w.dataLake.WithFaults(w.inj, "s3.data")
+		w.backupS3.WithFaults(w.inj, "s3.backup")
+	}
 	db, err := core.Open(w.coreConfig(opts.Nodes))
 	if err != nil {
 		return nil, err
@@ -117,6 +143,10 @@ func Launch(opts Options) (*Warehouse, error) {
 	w.endpoint = controlplane.NewEndpoint(db)
 	w.backups = backup.New(w.backupS3, "wh")
 	w.active = w.backups
+	// Install the S3 read tier from day one: page-fault reads and node
+	// recovery fall back to backed-up blocks when both local replicas are
+	// gone, without waiting for an explicit restore.
+	db.Cluster().SetBackupFetcher(w.backups.FetchPayload)
 	if opts.DisasterRecovery {
 		w.drS3 = s3sim.New()
 		w.backups.WithRemote(w.drS3)
@@ -208,12 +238,14 @@ func (w *Warehouse) coreConfig(nodes int) core.Config {
 			BlockCap:      w.opts.BlockCap,
 			CohortSize:    w.opts.CohortSize,
 		},
-		Mode:            mode,
-		Plan:            planOpts,
-		DataStore:       w.dataLake,
-		QuerySlots:      w.opts.QuerySlots,
-		Metrics:         w.metrics,
-		BlockCacheBytes: w.opts.BlockCacheBytes,
+		Mode:             mode,
+		Plan:             planOpts,
+		DataStore:        w.dataLake,
+		QuerySlots:       w.opts.QuerySlots,
+		Metrics:          w.metrics,
+		BlockCacheBytes:  w.opts.BlockCacheBytes,
+		Faults:           w.inj,
+		StatementTimeout: w.opts.StatementTimeout,
 	}
 }
 
@@ -229,6 +261,19 @@ func (w *Warehouse) Metrics() *telemetry.Registry { return w.metrics }
 func (w *Warehouse) Execute(query string) (*Result, error) {
 	return w.endpoint.DB().Execute(query)
 }
+
+// ExecuteContext runs one SQL statement under ctx: cancellation or a
+// deadline aborts the statement within one batch boundary.
+func (w *Warehouse) ExecuteContext(ctx context.Context, query string) (*Result, error) {
+	return w.endpoint.DB().ExecuteContext(ctx, query)
+}
+
+// Cancel aborts the running query with the given stl_query id, reporting
+// whether such a query was found.
+func (w *Warehouse) Cancel(id int64) bool { return w.endpoint.DB().Cancel(id) }
+
+// Faults exposes the warehouse's fault injector (nil without a FaultPlan).
+func (w *Warehouse) Faults() *faults.Injector { return w.inj }
 
 // MustExecute runs a statement and panics on error — for examples and
 // fixtures where failure is a bug.
@@ -319,7 +364,12 @@ func (w *Warehouse) FinishRestore(parallelism int) (int, error) {
 // provisioned, source read-only during the parallel copy, endpoint flipped
 // (§3.1).
 func (w *Warehouse) Resize(nodes int) (controlplane.ResizeStats, error) {
-	return controlplane.ResizeDatabase(w.endpoint, w.coreConfig(nodes))
+	stats, err := controlplane.ResizeDatabase(w.endpoint, w.coreConfig(nodes))
+	if err == nil {
+		// The target cluster is brand new; re-install the S3 read tier.
+		w.endpoint.DB().Cluster().SetBackupFetcher(w.active.FetchPayload)
+	}
+	return stats, err
 }
 
 // FailNode injects a node failure (its disk contents are lost); queries
