@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-scan chaos
+.PHONY: build test race bench bench-scan bench-spill chaos spill
 
 build:
 	$(GO) build ./...
@@ -30,3 +30,18 @@ bench:
 # late-materialization paths stay runnable (BENCH_scan.json has real runs).
 bench-scan:
 	$(GO) test -bench 'ScanHotCold|FilterSelectivity' -benchtime 1x -run '^$$' .
+
+# Memory-governance suite under the race detector: the spill twin battery
+# (bit-identical results at unlimited/256KiB/64KiB grants), the mid-spill
+# cancellation/timeout leak checks, and the operator-level property tests.
+# The seed is pinned for CI; replay with SPILL_SEED=<seed> make spill.
+SPILL_SEED ?= 20260805
+spill:
+	SPILL_SEED=$(SPILL_SEED) $(GO) test -race -run 'TestSpill|TestWorkMem' -v .
+	SPILL_SEED=$(SPILL_SEED) $(GO) test -race -run 'TestSpill|TestStvQueryMemory' ./internal/core
+	SPILL_SEED=$(SPILL_SEED) $(GO) test -race -run 'TestProp|TestAggAccounting' ./internal/exec
+
+# One-iteration spill benchmarks: CI smoke that the grace-join and
+# external-sort disk paths stay runnable (BENCH_spill.json has real runs).
+bench-spill:
+	$(GO) test -bench 'SpillJoin|ExternalSort' -benchtime 1x -run '^$$' ./internal/exec

@@ -9,6 +9,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -59,6 +61,14 @@ type Config struct {
 	// StatementTimeout bounds every SELECT's wall-clock time; 0 disables.
 	// SET statement_timeout overrides it at runtime.
 	StatementTimeout time.Duration
+	// WLMSlotMemBytes is the execution-memory pool divided evenly across
+	// WLM slots; each SELECT gets pool/slots as its grant and spills to
+	// disk beyond it. 0 disables memory governance. SET work_mem overrides
+	// the per-query grant at runtime.
+	WLMSlotMemBytes int64
+	// SpillDir is where queries create per-query scratch directories when
+	// they exceed their grant; empty uses the OS temp dir.
+	SpillDir string
 }
 
 // Database is one warehouse cluster's SQL engine.
@@ -91,6 +101,9 @@ type Database struct {
 	inj *faults.Injector
 	// stmtTimeout is the current statement_timeout in nanoseconds.
 	stmtTimeout atomic.Int64
+	// workMem is the SET work_mem override in bytes: -1 defers to the WLM
+	// grant, 0 runs unlimited, >0 is a per-query budget.
+	workMem atomic.Int64
 
 	// qmu guards the running-query registry; nextQID hands out stl_query
 	// ids before execution so CANCEL <id> can find in-flight queries.
@@ -106,6 +119,12 @@ type runningQuery struct {
 	sql    string
 	start  time.Time
 	cancel context.CancelCauseFunc
+
+	// Memory governance, attached once the query's grant is issued (nil
+	// for queries that never reach execution). Read by stv_query_memory.
+	mem   *exec.MemTracker
+	spill *exec.SpillDir
+	grant int64
 }
 
 // SetReadOnly toggles write rejection.
@@ -180,7 +199,7 @@ func Open(cfg Config) (*Database, error) {
 		cat:        catalog.New(),
 		cl:         cl,
 		txm:        txn.NewManager(),
-		wlm:        NewWLM(cfg.QuerySlots, cfg.Metrics),
+		wlm:        NewWLM(cfg.QuerySlots, cfg.WLMSlotMemBytes, cfg.Metrics),
 		metrics:    cfg.Metrics,
 		qlog:       telemetry.NewQueryLog(cfg.QueryLogSize),
 		sliceStats: make([]sliceStat, cl.NumSlices()),
@@ -189,7 +208,37 @@ func Open(cfg Config) (*Database, error) {
 		running:    map[int64]*runningQuery{},
 	}
 	db.stmtTimeout.Store(int64(cfg.StatementTimeout))
+	db.workMem.Store(-1) // defer to the WLM grant until SET work_mem
 	return db, nil
+}
+
+// effectiveMemBudget resolves the current per-query memory grant: the
+// SET work_mem override when one is in effect, else the WLM slot grant.
+// 0 means ungoverned.
+func (db *Database) effectiveMemBudget() int64 {
+	if wm := db.workMem.Load(); wm >= 0 {
+		return wm
+	}
+	return db.wlm.Grant()
+}
+
+// spillBase is the directory under which per-query scratch dirs are
+// created (lazily, on first spill).
+func (db *Database) spillBase() string {
+	if db.cfg.SpillDir != "" {
+		return db.cfg.SpillDir
+	}
+	return filepath.Join(os.TempDir(), "redshift-spill")
+}
+
+// attachQueryMem publishes a query's memory tracker and scratch dir on
+// its running-query entry so stv_query_memory can observe it in flight.
+func (db *Database) attachQueryMem(id int64, mem *exec.MemTracker, spill *exec.SpillDir, grant int64) {
+	db.qmu.Lock()
+	if rq := db.running[id]; rq != nil {
+		rq.mem, rq.spill, rq.grant = mem, spill, grant
+	}
+	db.qmu.Unlock()
 }
 
 // BlockCache exposes the decoded-block buffer cache (nil when disabled).
@@ -291,6 +340,13 @@ func (db *Database) runSet(s *sql.Set) (*Result, error) {
 		}
 		db.stmtTimeout.Store(ms * int64(time.Millisecond))
 		return &Result{Message: "SET"}, nil
+	case "work_mem":
+		n, err := sql.ParseByteSize(s.Value)
+		if err != nil {
+			return nil, fmt.Errorf("core: work_mem: %w", err)
+		}
+		db.workMem.Store(n)
+		return &Result{Message: "SET"}, nil
 	case "fault_injection":
 		if db.inj == nil {
 			return nil, fmt.Errorf("core: no fault plan configured")
@@ -360,6 +416,31 @@ func (db *Database) unregisterQuery(id int64) {
 	db.qmu.Lock()
 	delete(db.running, id)
 	db.qmu.Unlock()
+}
+
+// queryMemRow is one governed in-flight query's memory snapshot.
+type queryMemRow struct {
+	id, grant, used, peak, spilled int64
+}
+
+// queryMemSnapshot reads the running queries' memory state under qmu —
+// attachQueryMem writes rq.mem concurrently, so stv_query_memory must not
+// touch the fields outside the lock.
+func (db *Database) queryMemSnapshot() []queryMemRow {
+	db.qmu.Lock()
+	defer db.qmu.Unlock()
+	out := make([]queryMemRow, 0, len(db.running))
+	for _, rq := range db.running {
+		if rq.mem == nil {
+			continue
+		}
+		var spilled int64
+		if rq.spill != nil {
+			spilled = rq.spill.Bytes()
+		}
+		out = append(out, queryMemRow{rq.id, rq.grant, rq.mem.Used(), rq.mem.Peak(), spilled})
+	}
+	return out
 }
 
 // runningQueries snapshots the in-flight set for stv_inflight.
@@ -938,7 +1019,8 @@ func (db *Database) runExplain(ctx context.Context, s *sql.Explain) (*Result, er
 		return nil, err
 	}
 	res := &Result{Schema: types.NewSchema(types.Column{Name: "QUERY PLAN", Type: types.String})}
-	for _, line := range strings.Split(strings.TrimRight(p.Explain(), "\n"), "\n") {
+	text := p.ExplainWithMemory(db.effectiveMemBudget())
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
 		res.Rows = append(res.Rows, types.Row{types.NewString(line)})
 	}
 	return res, nil

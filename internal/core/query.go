@@ -81,7 +81,7 @@ func (db *Database) runSelectTraced(ctx context.Context, s *sql.Select) (*Result
 		// The slot was never acquired: nothing to release.
 		trace.End()
 		state, err := classifyQueryErr(ctx, qid, err)
-		db.recordQuery(qid, s, start, queueWait, 0, 0, nil, trace, err, state)
+		db.recordQuery(qid, s, start, queueWait, 0, 0, nil, trace, err, state, 0, 0)
 		return nil, trace, err
 	}
 	defer db.wlm.Release()
@@ -93,9 +93,24 @@ func (db *Database) runSelectTraced(ctx context.Context, s *sql.Select) (*Result
 	planSpan.End()
 	if err != nil {
 		trace.End()
-		db.recordQuery(qid, s, start, queueWait, planTime, 0, nil, trace, err, "error")
+		db.recordQuery(qid, s, start, queueWait, planTime, 0, nil, trace, err, "error", 0, 0)
 		return nil, trace, err
 	}
+
+	// Memory governance: the query's grant comes from work_mem (session
+	// override) or the WLM slot budget; the tracker charges blocking
+	// operators against it and the scratch dir receives their spills. The
+	// deferred cleanup runs on EVERY exit — success, error, cancel,
+	// timeout — so scratch files never outlive the query and
+	// exec_mem_bytes returns to zero.
+	grant := db.effectiveMemBudget()
+	mem := exec.NewMemTracker(grant, db.metrics.Gauge("exec_mem_bytes"))
+	spillDir := exec.NewSpillDir(db.spillBase(), fmt.Sprintf("query-%d", qid))
+	defer func() {
+		mem.ReleaseAll()
+		spillDir.Cleanup()
+	}()
+	db.attachQueryMem(qid, mem, spillDir, grant)
 
 	q := &queryRun{
 		db:       db,
@@ -104,6 +119,8 @@ func (db *Database) runSelectTraced(ctx context.Context, s *sql.Select) (*Result
 		snapshot: db.txm.CurrentXid(),
 		scans:    &exec.ScanStats{},
 		trace:    trace,
+		mem:      mem,
+		spillDir: spillDir,
 	}
 	netBefore := db.cl.NetBytes()
 	execStart := time.Now()
@@ -114,7 +131,7 @@ func (db *Database) runSelectTraced(ctx context.Context, s *sql.Select) (*Result
 	db.metrics.Counter("failover_reads_total").Add(q.scans.FailoverReads.Load())
 	if err != nil {
 		state, err := classifyQueryErr(ctx, qid, err)
-		db.recordQuery(qid, s, start, queueWait, planTime, execTime, nil, trace, err, state)
+		db.recordQuery(qid, s, start, queueWait, planTime, execTime, nil, trace, err, state, mem.Peak(), spillDir.Bytes())
 		return nil, trace, err
 	}
 	res := &Result{
@@ -132,23 +149,25 @@ func (db *Database) runSelectTraced(ctx context.Context, s *sql.Select) (*Result
 	for i := 0; i < final.N; i++ {
 		res.Rows = append(res.Rows, final.Row(i))
 	}
-	db.recordQuery(qid, s, start, queueWait, planTime, execTime, res, trace, nil, "success")
+	db.recordQuery(qid, s, start, queueWait, planTime, execTime, res, trace, nil, "success", mem.Peak(), spillDir.Bytes())
 	return res, trace, nil
 }
 
 // recordQuery appends one finished SELECT to the query log and emits its
 // counters into the registry.
-func (db *Database) recordQuery(qid int64, s *sql.Select, start time.Time, queueWait, planTime, execTime time.Duration, res *Result, trace *telemetry.Span, runErr error, state string) {
+func (db *Database) recordQuery(qid int64, s *sql.Select, start time.Time, queueWait, planTime, execTime time.Duration, res *Result, trace *telemetry.Span, runErr error, state string, memPeak, spillBytes int64) {
 	rec := telemetry.QueryRecord{
-		ID:        qid,
-		SQL:       s.String(),
-		Start:     start,
-		End:       time.Now(),
-		QueueWait: queueWait,
-		PlanTime:  planTime,
-		ExecTime:  execTime,
-		State:     state,
-		Trace:     trace,
+		ID:         qid,
+		SQL:        s.String(),
+		Start:      start,
+		End:        time.Now(),
+		QueueWait:  queueWait,
+		PlanTime:   planTime,
+		ExecTime:   execTime,
+		State:      state,
+		Trace:      trace,
+		MemPeak:    memPeak,
+		SpillBytes: spillBytes,
 	}
 	if res != nil {
 		rec.Rows = int64(len(res.Rows))
@@ -164,6 +183,11 @@ func (db *Database) recordQuery(qid int64, s *sql.Select, start time.Time, queue
 
 	m := db.metrics
 	m.Counter("query_total").Inc()
+	m.Gauge("exec_mem_peak").Set(memPeak)
+	if spillBytes > 0 {
+		m.Counter("spill_bytes_total").Add(spillBytes)
+		m.Counter("spilled_queries_total").Inc()
+	}
 	if runErr != nil {
 		switch state {
 		case "cancelled":
@@ -250,6 +274,36 @@ type queryRun struct {
 	aggGroups []int64 // per-slice group counts, snapshotted before the merge
 	// gatherBytes totals the bytes shipped to the leader (merge span attr).
 	gatherBytes atomic.Int64
+
+	// Memory governance (nil for system-table queries, which run
+	// leader-only over already-materialized rows).
+	mem       *exec.MemTracker
+	spillDir  *exec.SpillDir
+	leaderAgg *exec.GroupTable
+	nodeMem   map[int]*exec.MemTracker
+	nodeSpill map[int]*exec.SpillStats
+}
+
+// memCtx hands an operator instance its memory context: a fresh child of
+// the physical node's tracker (so EXPLAIN ANALYZE gets per-node peaks and
+// each instance's Close releases only its own charges), plus the query
+// scratch dir and the node's spill stats. Only called from the chain
+// building and leader phases, which run on the driving goroutine.
+func (q *queryRun) memCtx(n *plan.PhysNode) *exec.MemContext {
+	if q.mem == nil || n == nil {
+		return nil
+	}
+	if q.nodeMem == nil {
+		q.nodeMem = map[int]*exec.MemTracker{}
+		q.nodeSpill = map[int]*exec.SpillStats{}
+	}
+	nt, ok := q.nodeMem[n.ID]
+	if !ok {
+		nt = q.mem.Child()
+		q.nodeMem[n.ID] = nt
+		q.nodeSpill[n.ID] = &exec.SpillStats{}
+	}
+	return &exec.MemContext{T: nt.Child(), Dir: q.spillDir, Stats: q.nodeSpill[n.ID]}
 }
 
 // scanInstance is one slice's instantiation of a physical scan node; its
@@ -411,7 +465,13 @@ func (q *queryRun) execute(ctx context.Context) (*exec.Batch, error) {
 			q.account(q.db.cl.Slice(sl).Node.ID, -1, shipped, cluster.TransferGather)
 			q.gatherBytes.Add(shipped)
 		}
-		root = q.wrap(exec.NewGroupMergeOp(q.aggTables, ship), q.ph.LeaderAgg)
+		leaderGt, err := exec.NewGroupTable(q.mode, q.p.GroupBy, q.p.Aggs)
+		if err != nil {
+			return nil, err
+		}
+		leaderGt.SetMemory(q.memCtx(q.ph.LeaderAgg))
+		q.leaderAgg = leaderGt
+		root = q.wrap(exec.NewGroupMergeOp(leaderGt, q.aggTables, ship), q.ph.LeaderAgg)
 		if q.ph.Having != nil {
 			f, err := exec.NewFilterOp(q.mode, q.p.Having, root)
 			if err != nil {
@@ -427,7 +487,9 @@ func (q *queryRun) execute(ctx context.Context) (*exec.Batch, error) {
 	} else {
 		root = q.wrap(exec.NewLeaderMergeOp(perSlice, q.p.OrderBy, q.p.SliceTopN()), q.ph.Merge)
 	}
-	root = q.wrap(exec.NewFinalizeOp(root, q.p.Distinct, q.p.OrderBy, q.p.Limit, len(q.p.Project)), q.ph.Finalize)
+	fin := exec.NewFinalizeOp(root, q.p.Distinct, q.p.OrderBy, q.p.Limit, len(q.p.Project))
+	fin.SetMemory(q.memCtx(q.ph.Finalize))
+	root = q.wrap(fin, q.ph.Finalize)
 
 	var final *exec.Batch
 	err := driveChain(ctx, root, func(b *exec.Batch) error {
@@ -500,6 +562,7 @@ func (q *queryRun) buildChain(sl, nslices int) (exec.Operator, error) {
 		if err != nil {
 			return nil, err
 		}
+		join.SetMemory(q.memCtx(pj.Probe))
 		cur = q.wrap(exec.NewHashJoinOp(join, build, cur), pj.Probe)
 	}
 
@@ -516,6 +579,7 @@ func (q *queryRun) buildChain(sl, nslices int) (exec.Operator, error) {
 		if err != nil {
 			return nil, err
 		}
+		gt.SetMemory(q.memCtx(ph.PartialAgg))
 		q.aggTables[sl] = gt
 		return q.wrap(exec.NewPartialAggOp(gt, cur), ph.PartialAgg), nil
 	}
@@ -529,7 +593,9 @@ func (q *queryRun) buildChain(sl, nslices int) (exec.Operator, error) {
 		cur = q.wrap(exec.NewStreamDistinctOp(cur), ph.Distinct)
 	}
 	if ph.TopN != nil {
-		cur = q.wrap(exec.NewTopNOp(cur, q.p.OrderBy, q.p.Limit, len(q.p.Project)), ph.TopN)
+		topn := exec.NewTopNOp(cur, q.p.OrderBy, q.p.Limit, len(q.p.Project))
+		topn.SetMemory(q.memCtx(ph.TopN))
+		cur = q.wrap(topn, ph.TopN)
 	}
 	return cur, nil
 }
@@ -741,7 +807,9 @@ func (q *queryRun) emitSpans() {
 			}
 		case plan.PhysLeaderAgg:
 			sp.Add("bytes", q.gatherBytes.Load())
-			if len(q.aggTables) > 0 && q.aggTables[0] != nil {
+			if q.leaderAgg != nil {
+				sp.Add("groups", int64(q.leaderAgg.NumGroups()))
+			} else if len(q.aggTables) > 0 && q.aggTables[0] != nil {
 				sp.Add("groups", int64(q.aggTables[0].NumGroups()))
 			}
 		case plan.PhysLeaderMerge:
@@ -749,6 +817,22 @@ func (q *queryRun) emitSpans() {
 		case plan.PhysExchange:
 			if c := q.exBytes[n.ID]; c != nil {
 				sp.Add("bytes", c.Load())
+			}
+		}
+		// Memory-governance attrs for the blocking operators that charge a
+		// tracker: peak resident bytes, plus spill volume when they spilled.
+		if nt := q.nodeMem[n.ID]; nt != nil {
+			if p := nt.Peak(); p > 0 {
+				sp.Add("mem_peak", p)
+			}
+			if ss := q.nodeSpill[n.ID]; ss != nil {
+				if b := ss.Bytes.Load(); b > 0 {
+					sp.Add("spill_bytes", b)
+					sp.Add("spill_partitions", ss.Partitions.Load())
+					if r := ss.Runs.Load(); r > 0 {
+						sp.Add("spill_runs", r)
+					}
+				}
 			}
 		}
 		sp.SetDuration(time.Duration(st.Nanos.Load()))

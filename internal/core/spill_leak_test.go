@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"redshift/internal/cluster"
+	"redshift/internal/exec"
+	"redshift/internal/faults"
+	"redshift/internal/s3sim"
+)
+
+// openSpillDB builds a memory-governed database whose every query runs
+// under grant bytes and spills into dir. perRead > 0 adds latency to each
+// primary block read so in-flight queries are slow enough to abort
+// mid-spill deterministically.
+func openSpillDB(t *testing.T, grant int64, dir string, perRead time.Duration) *Database {
+	t.Helper()
+	cfg := Config{
+		Cluster:         cluster.Config{Nodes: 2, SlicesPerNode: 2, BlockCap: 16},
+		Mode:            exec.Compiled,
+		DataStore:       s3sim.New(),
+		BlockCacheBytes: -1,
+		QuerySlots:      1,
+		WLMSlotMemBytes: grant,
+		SpillDir:        dir,
+	}
+	if perRead > 0 {
+		inj := faults.NewInjector(&faults.Plan{Seed: 7, Sites: map[string]faults.Rule{
+			faults.SitePrimaryRead: {Latency: perRead, LatencyProb: 1},
+		}})
+		inj.SetEnabled(true)
+		cfg.Faults = inj
+	}
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// seedSpillWide loads a table whose GROUP BY id has one group per row, so
+// hash aggregation outgrows a KiB-scale grant almost immediately.
+func seedSpillWide(t *testing.T, db *Database, rows int) {
+	t.Helper()
+	mustExec(t, db, `CREATE TABLE wide (
+		id BIGINT NOT NULL, grp BIGINT, val BIGINT
+	) DISTSTYLE KEY DISTKEY(id)`)
+	var data strings.Builder
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&data, "%d|%d|%d\n", i, i%7, i%100)
+	}
+	db.cfg.DataStore.Put("lake/wide/w.csv", []byte(data.String()))
+	mustExec(t, db, `COPY wide FROM 's3://lake/wide/'`)
+}
+
+// assertSpillHygiene checks the invariants every query exit path must
+// restore: tracked memory back to zero, no pooled batch in flight, and no
+// per-query scratch directory left on disk.
+func assertSpillHygiene(t *testing.T, db *Database, dir string) {
+	t.Helper()
+	if n := db.metrics.Gauge("exec_mem_bytes").Value(); n != 0 {
+		t.Errorf("exec_mem_bytes = %d after queries finished, want 0", n)
+	}
+	assertNoBatchLeaks(t, db)
+	ents, err := os.ReadDir(dir)
+	if err != nil && !os.IsNotExist(err) {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		t.Errorf("leftover scratch entry %s in %s", e.Name(), dir)
+	}
+}
+
+// TestSpillSuccessReleasesEverything: governed queries that spill on every
+// blocking operator still drain clean — memory, batches and scratch files.
+func TestSpillSuccessReleasesEverything(t *testing.T) {
+	dir := t.TempDir()
+	db := openSpillDB(t, 16<<10, dir, 0)
+	seedSpillWide(t, db, 6000)
+
+	for _, q := range []string{
+		`SELECT id, SUM(val) AS total FROM wide GROUP BY id ORDER BY id`,
+		`SELECT a.id, b.val FROM wide a JOIN wide b ON a.id = b.id ORDER BY a.id`,
+		`SELECT id, grp, val FROM wide ORDER BY val, id`,
+	} {
+		res := mustExec(t, db, q)
+		if len(res.Rows) != 6000 {
+			t.Fatalf("%s: rows = %d, want 6000", q, len(res.Rows))
+		}
+	}
+	if n := db.metrics.Counter("spill_bytes_total").Value(); n == 0 {
+		t.Fatal("battery never spilled — grant too generous for the test to mean anything")
+	}
+	if n := db.metrics.Counter("spilled_queries_total").Value(); n < 3 {
+		t.Errorf("spilled_queries_total = %d, want >= 3", n)
+	}
+	assertSpillHygiene(t, db, dir)
+}
+
+// abortMidSpill starts a slow spilling query, waits until spill bytes have
+// actually hit disk, then aborts it via abort(). Returns the query error.
+func abortMidSpill(t *testing.T, db *Database, abort func(qid int64)) error {
+	t.Helper()
+	type outcome struct {
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		_, err := db.Execute(`SELECT id, SUM(val) AS total FROM wide GROUP BY id ORDER BY id`)
+		done <- outcome{err}
+	}()
+
+	// Wait for the query to demonstrably spill (live scratch-dir bytes via
+	// the stv_query_memory snapshot), then pull the plug while its
+	// operators still hold scratch files open.
+	deadline := time.Now().Add(10 * time.Second)
+	var target int64
+	for target == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("query never spilled")
+		}
+		for _, q := range db.queryMemSnapshot() {
+			if q.spilled > 0 {
+				target = q.id
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	abort(target)
+	select {
+	case o := <-done:
+		return o.err
+	case <-time.After(30 * time.Second):
+		t.Fatal("aborted query never returned")
+		return nil
+	}
+}
+
+// TestSpillCancelMidSpillCleansUp: CANCEL lands while spill files are
+// open and partially written; the query unwinds, deletes its scratch dir,
+// returns its memory and frees its WLM slot.
+func TestSpillCancelMidSpillCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	db := openSpillDB(t, 8<<10, dir, 200*time.Microsecond)
+	seedSpillWide(t, db, 8000)
+
+	err := abortMidSpill(t, db, func(qid int64) { db.Cancel(qid) })
+	if err == nil {
+		t.Fatal("cancelled mid-spill query returned a result")
+	}
+	var sawCancelled bool
+	for _, r := range db.QueryLog().Records() {
+		if r.State == "cancelled" {
+			sawCancelled = true
+		}
+	}
+	if !sawCancelled {
+		t.Error("no stl_query record in state 'cancelled'")
+	}
+
+	// The slot and scratch space are free for the next statement.
+	db.inj.SetEnabled(false)
+	res := mustExec(t, db, `SELECT COUNT(*) FROM wide`)
+	if res.Rows[0][0].I != 8000 {
+		t.Errorf("post-cancel count = %d, want 8000", res.Rows[0][0].I)
+	}
+	assertSpillHygiene(t, db, dir)
+}
+
+// TestSpillTimeoutMidSpillCleansUp: same invariants when the abort comes
+// from statement_timeout expiring rather than an explicit CANCEL.
+func TestSpillTimeoutMidSpillCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	db := openSpillDB(t, 8<<10, dir, 500*time.Microsecond)
+	seedSpillWide(t, db, 8000)
+
+	mustExec(t, db, `SET statement_timeout TO 40`)
+	_, err := db.Execute(`SELECT id, SUM(val) AS total FROM wide GROUP BY id ORDER BY id`)
+	if err == nil {
+		t.Fatal("slow spilling query beat a 40ms statement_timeout")
+	}
+	if !strings.Contains(err.Error(), "statement timeout") {
+		t.Errorf("error %q does not name the timeout", err)
+	}
+	if db.metrics.Counter("spill_bytes_total").Value() == 0 {
+		t.Error("query timed out before spilling — shrink the grant or slow the reads")
+	}
+
+	mustExec(t, db, `SET statement_timeout TO 0`)
+	db.inj.SetEnabled(false)
+	res := mustExec(t, db, `SELECT COUNT(*) FROM wide`)
+	if res.Rows[0][0].I != 8000 {
+		t.Errorf("post-timeout count = %d, want 8000", res.Rows[0][0].I)
+	}
+	assertSpillHygiene(t, db, dir)
+}
+
+// TestStvQueryMemoryVisibility: an in-flight governed query is observable
+// through stv_query_memory with its grant, and the row disappears once it
+// finishes.
+func TestStvQueryMemoryVisibility(t *testing.T) {
+	dir := t.TempDir()
+	db := openSpillDB(t, 32<<10, dir, 200*time.Microsecond)
+	seedSpillWide(t, db, 8000)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		db.Execute(`SELECT id, SUM(val) AS total FROM wide GROUP BY id ORDER BY id`)
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	var saw bool
+	for !saw && time.Now().Before(deadline) {
+		res, err := db.Execute(`SELECT query, grant_bytes, used_bytes, spill_bytes FROM stv_query_memory`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res.Rows {
+			if r[1].I != 32<<10 {
+				t.Errorf("grant_bytes = %d, want %d", r[1].I, 32<<10)
+			}
+			saw = true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !saw {
+		t.Error("running governed query never appeared in stv_query_memory")
+	}
+	<-done
+
+	res := mustExec(t, db, `SELECT COUNT(*) FROM stv_query_memory`)
+	if n := res.Rows[0][0].I; n != 0 {
+		t.Errorf("stv_query_memory rows after completion = %d, want 0", n)
+	}
+	assertSpillHygiene(t, db, dir)
+}

@@ -42,6 +42,8 @@ var systemTables = []systemTable{
 			{Name: "net_bytes", Type: types.Int64},
 			{Name: "aborted", Type: types.Int64},
 			{Name: "state", Type: types.String},
+			{Name: "mem_peak", Type: types.Int64},
+			{Name: "spill_bytes", Type: types.Int64},
 		},
 		rows: func(db *Database) []types.Row {
 			recs := db.qlog.Records()
@@ -73,6 +75,8 @@ var systemTables = []systemTable{
 					types.NewInt(r.NetBytes),
 					types.NewInt(aborted),
 					types.NewString(state),
+					types.NewInt(r.MemPeak),
+					types.NewInt(r.SpillBytes),
 				})
 			}
 			return rows
@@ -121,6 +125,30 @@ var systemTables = []systemTable{
 					types.NewInt(rq.id),
 					types.NewString(rq.sql),
 					types.NewTimestamp(rq.start.UnixMicro()),
+				})
+			}
+			return rows
+		},
+	},
+	{
+		name: "stv_query_memory",
+		cols: []catalog.ColumnDef{
+			{Name: "query", Type: types.Int64},
+			{Name: "grant_bytes", Type: types.Int64},
+			{Name: "used_bytes", Type: types.Int64},
+			{Name: "peak_bytes", Type: types.Int64},
+			{Name: "spill_bytes", Type: types.Int64},
+		},
+		rows: func(db *Database) []types.Row {
+			snap := db.queryMemSnapshot()
+			rows := make([]types.Row, 0, len(snap))
+			for _, q := range snap {
+				rows = append(rows, types.Row{
+					types.NewInt(q.id),
+					types.NewInt(q.grant),
+					types.NewInt(q.used),
+					types.NewInt(q.peak),
+					types.NewInt(q.spilled),
 				})
 			}
 			return rows

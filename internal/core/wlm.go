@@ -14,6 +14,10 @@ import (
 // slots.
 type WLM struct {
 	slots chan struct{}
+	// memPool is the total execution-memory budget divided evenly across
+	// slots (§4: "memory ... distributed across many concurrent queries");
+	// 0 means ungoverned.
+	memPool int64
 
 	mu         sync.Mutex
 	active     int
@@ -34,8 +38,8 @@ type WLM struct {
 // queue has 5 slots). n <= 0 disables queuing. When reg is non-nil the
 // manager emits wlm_active / wlm_queued gauges, a wlm_queue_wait_seconds
 // histogram and a wlm_queries_total counter into it.
-func NewWLM(n int, reg *telemetry.Registry) *WLM {
-	w := &WLM{}
+func NewWLM(n int, memPool int64, reg *telemetry.Registry) *WLM {
+	w := &WLM{memPool: memPool}
 	if n > 0 {
 		w.slots = make(chan struct{}, n)
 	}
@@ -46,6 +50,19 @@ func NewWLM(n int, reg *telemetry.Registry) *WLM {
 		w.mQueries = reg.Counter("wlm_queries_total")
 	}
 	return w
+}
+
+// Grant returns the per-slot memory budget: the pool divided evenly
+// across slots (the whole pool when queuing is disabled). 0 means the
+// query runs ungoverned.
+func (w *WLM) Grant() int64 {
+	if w.memPool <= 0 {
+		return 0
+	}
+	if w.slots == nil {
+		return w.memPool
+	}
+	return w.memPool / int64(cap(w.slots))
 }
 
 // Acquire blocks until a slot is free and returns the time spent queued.

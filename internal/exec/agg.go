@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"redshift/internal/hll"
@@ -248,6 +249,28 @@ func (s *hllState) Size() int64        { return s.sk.ByteSize() }
 type group struct {
 	keys   []types.Value
 	states []AggState
+	mem    int64 // bytes currently charged to the tracker for this group
+}
+
+// Memory-accounting constants for hash aggregation: estimated heap cost
+// beyond the shipped-state payload that AggState.Size reports. Validated
+// against real allocation growth by TestAggAccountingTracksAllocation.
+const (
+	groupOverhead = 160 // map bucket + group struct + keys/states slice headers + order entry
+	stateOverhead = 48  // interface header + allocator rounding per accumulator
+	valueOverhead = 40  // boxed types.Value struct per group key
+)
+
+// groupMemBytes estimates the resident heap bytes of one group entry.
+func groupMemBytes(k string, grp *group) int64 {
+	n := int64(groupOverhead) + int64(len(k))
+	for _, v := range grp.keys {
+		n += valueOverhead + valueSize(v)
+	}
+	for _, st := range grp.states {
+		n += stateOverhead + st.Size()
+	}
+	return n
 }
 
 // GroupTable is a hash-aggregation operator usable as both the partial
@@ -259,6 +282,35 @@ type GroupTable struct {
 	argEvs   []*Evaluator // aligned with specs; nil for COUNT(*)
 	groups   map[string]*group
 	order    []string // deterministic iteration
+
+	mc      *MemContext // nil → ungoverned
+	charged int64
+	spill   *aggSpill
+	depth   int // recursion depth when replaying a spilled partition
+}
+
+// aggSpill holds the partition files of a spilled aggregation. Once the
+// table overflows its grant, rows for keys not already resident are
+// hash-partitioned to disk in raw input layout and re-aggregated
+// partition by partition at drain time (partition-and-restart). Rows for
+// resident keys keep updating in place, so every group still sees its
+// rows in arrival order — the output is bit-identical to the in-memory
+// plan at any budget.
+type aggSpill struct {
+	files []*spillFile
+}
+
+// SetMemory attaches the table to the query's memory governance. Must be
+// called before Consume.
+func (g *GroupTable) SetMemory(mc *MemContext) { g.mc = mc }
+
+// Spilled reports whether any input rows were partitioned to disk.
+func (g *GroupTable) Spilled() bool { return g.spill != nil }
+
+// ReleaseMem returns every byte the table still has charged.
+func (g *GroupTable) ReleaseMem() {
+	g.mc.release()
+	g.charged = 0
 }
 
 // NewGroupTable prepares a hash aggregation.
@@ -289,7 +341,10 @@ func NewGroupTable(mode Mode, groupBy []plan.Expr, specs []plan.AggSpec) (*Group
 	return g, nil
 }
 
-// Consume folds one batch of input rows.
+// Consume folds one batch of input rows. Group-state growth is charged
+// against the query grant; the batch that would exceed it switches the
+// table into spill mode, where rows for not-yet-resident keys are
+// partitioned to scratch files instead of growing the hash table.
 func (g *GroupTable) Consume(b *Batch) error {
 	if b.N == 0 {
 		return nil
@@ -314,11 +369,31 @@ func (g *GroupTable) Consume(b *Batch) error {
 		argVecs[i] = v
 	}
 	keyRow := make([]types.Value, len(keyVecs))
+	var touched map[string]*group
+	if g.mc != nil && g.mc.T != nil {
+		touched = make(map[string]*group)
+	}
+	var part []int // spill routing; allocated on first routed row
 	for r := 0; r < b.N; r++ {
 		for i, v := range keyVecs {
 			keyRow[i] = v.Get(r)
 		}
-		grp := g.lookup(keyRow)
+		k := KeyEncoder(keyRow)
+		grp, ok := g.groups[k]
+		if !ok {
+			if g.spill != nil {
+				// New key after overflow: defer the row to its partition.
+				if part == nil {
+					part = make([]int, b.N)
+					for i := range part {
+						part[i] = -1
+					}
+				}
+				part[r] = spillPartition(k, g.depth)
+				continue
+			}
+			grp = g.insert(k, keyRow)
+		}
 		for i := range g.specs {
 			if argVecs[i] == nil {
 				grp.states[i].UpdateRow()
@@ -326,7 +401,59 @@ func (g *GroupTable) Consume(b *Batch) error {
 				grp.states[i].Update(argVecs[i].Get(r))
 			}
 		}
+		if touched != nil {
+			touched[k] = grp
+		}
 	}
+	if part != nil {
+		if err := scatter(b, part, g.spill.files); err != nil {
+			return err
+		}
+	}
+	if touched == nil {
+		return nil
+	}
+	var delta int64
+	for k, grp := range touched {
+		nb := groupMemBytes(k, grp)
+		delta += nb - grp.mem
+		grp.mem = nb
+	}
+	switch {
+	case delta < 0:
+		g.mc.shrink(-delta)
+		g.charged += delta
+	case delta > 0 && g.mc.tryGrow(delta):
+		g.charged += delta
+	case delta > 0:
+		// Over the grant: resident groups stay (forced charge, they keep
+		// absorbing their keys' rows in place), future new keys spill.
+		if err := g.enterSpill(); err != nil {
+			return err
+		}
+		g.mc.grow(delta)
+		g.charged += delta
+	}
+	return nil
+}
+
+// enterSpill opens the partition files. At the recursion-depth cap (or
+// without a scratch dir) it leaves spill mode off: the table keeps
+// growing with forced charges instead.
+func (g *GroupTable) enterSpill() error {
+	if g.spill != nil || g.mc == nil || g.mc.Dir == nil || g.depth >= maxSpillDepth {
+		return nil
+	}
+	sp := &aggSpill{files: make([]*spillFile, spillFanout)}
+	for p := 0; p < spillFanout; p++ {
+		f, err := g.mc.Dir.create(fmt.Sprintf("agg-d%d-p%d", g.depth, p), g.mc.spillStats())
+		if err != nil {
+			return err
+		}
+		sp.files[p] = f
+	}
+	g.mc.addPartitions(spillFanout)
+	g.spill = sp
 	return nil
 }
 
@@ -334,30 +461,113 @@ func (g *GroupTable) lookup(keyRow []types.Value) *group {
 	k := KeyEncoder(keyRow)
 	grp, ok := g.groups[k]
 	if !ok {
-		grp = &group{keys: append([]types.Value(nil), keyRow...)}
-		for _, spec := range g.specs {
-			grp.states = append(grp.states, NewAggState(spec))
-		}
-		g.groups[k] = grp
-		g.order = append(g.order, k)
+		grp = g.insert(k, keyRow)
 	}
 	return grp
 }
 
+func (g *GroupTable) insert(k string, keyRow []types.Value) *group {
+	grp := &group{keys: append([]types.Value(nil), keyRow...)}
+	for _, spec := range g.specs {
+		grp.states = append(grp.states, NewAggState(spec))
+	}
+	g.groups[k] = grp
+	g.order = append(g.order, k)
+	return grp
+}
+
+// shadow builds the sub-table that re-aggregates one spilled partition,
+// one level deeper so a still-too-big partition re-splits on a fresh
+// hash.
+func (g *GroupTable) shadow() *GroupTable {
+	return &GroupTable{
+		mode:     g.mode,
+		specs:    g.specs,
+		groupEvs: g.groupEvs,
+		argEvs:   g.argEvs,
+		groups:   map[string]*group{},
+		mc:       g.mc,
+		depth:    g.depth + 1,
+	}
+}
+
+// Drain visits every group exactly once — resident groups in first-seen
+// order, then each spilled partition re-aggregated through a shadow
+// sub-table. Partition files are deleted as they are consumed; a table
+// can be drained once.
+func (g *GroupTable) Drain(ctx context.Context, fn func(k string, grp *group) error) error {
+	for _, k := range g.order {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := fn(k, g.groups[k]); err != nil {
+			return err
+		}
+	}
+	if g.spill == nil {
+		return nil
+	}
+	for _, f := range g.spill.files {
+		if f.Rows() == 0 {
+			f.Discard()
+			continue
+		}
+		sub := g.shadow()
+		r, err := f.Reader()
+		if err != nil {
+			return err
+		}
+		for {
+			b, err := r.Next(ctx)
+			if err != nil {
+				return err
+			}
+			if b == nil {
+				break
+			}
+			err = sub.Consume(b)
+			PutBatch(b)
+			if err != nil {
+				return err
+			}
+		}
+		if err := sub.Drain(ctx, fn); err != nil {
+			return err
+		}
+		g.mc.shrink(sub.charged)
+		sub.charged = 0
+		f.Discard()
+	}
+	return nil
+}
+
 // Merge folds another table's groups into g (the leader's final phase).
-func (g *GroupTable) Merge(o *GroupTable) {
-	for _, k := range o.order {
-		og := o.groups[k]
+func (g *GroupTable) Merge(o *GroupTable) error {
+	return g.MergeCtx(context.Background(), o)
+}
+
+// MergeCtx merges with cancellation, draining o's spilled partitions if
+// it overflowed. Adopted groups are charged to g's tracker (forced: the
+// leader merge works over shipped states, which cannot re-spill).
+func (g *GroupTable) MergeCtx(ctx context.Context, o *GroupTable) error {
+	return o.Drain(ctx, func(k string, og *group) error {
 		grp, ok := g.groups[k]
 		if !ok {
 			g.groups[k] = og
 			g.order = append(g.order, k)
-			continue
+			if g.mc != nil && g.mc.T != nil {
+				nb := groupMemBytes(k, og)
+				og.mem = nb
+				g.mc.grow(nb)
+				g.charged += nb
+			}
+			return nil
 		}
 		for i := range grp.states {
 			grp.states[i].Merge(og.states[i])
 		}
-	}
+		return nil
+	})
 }
 
 // NumGroups returns the number of distinct grouping keys seen.
@@ -365,6 +575,8 @@ func (g *GroupTable) NumGroups() int { return len(g.groups) }
 
 // StateBytes is the encoded size of the table's partial state — group keys
 // plus accumulators — i.e. what a slice actually ships to the leader.
+// Spilled partitions count at their on-disk size: those rows move to the
+// leader too, just via re-aggregation at drain time.
 func (g *GroupTable) StateBytes() int64 {
 	var n int64
 	for _, k := range g.order {
@@ -376,6 +588,11 @@ func (g *GroupTable) StateBytes() int64 {
 			n += st.Size()
 		}
 	}
+	if g.spill != nil {
+		for _, f := range g.spill.files {
+			n += f.Bytes()
+		}
+	}
 	return n
 }
 
@@ -383,7 +600,12 @@ func (g *GroupTable) StateBytes() int64 {
 // A scalar aggregation (no GROUP BY) always yields exactly one row, even
 // over empty input.
 func (g *GroupTable) Result() (*Batch, error) {
-	if len(g.groupEvs) == 0 && len(g.groups) == 0 {
+	return g.ResultCtx(context.Background())
+}
+
+// ResultCtx materializes the result, draining spilled partitions.
+func (g *GroupTable) ResultCtx(ctx context.Context) (*Batch, error) {
+	if len(g.groupEvs) == 0 && len(g.groups) == 0 && g.spill == nil {
 		g.lookup(nil)
 	}
 	width := len(g.groupEvs) + len(g.specs)
@@ -391,16 +613,21 @@ func (g *GroupTable) Result() (*Batch, error) {
 	for c := range out.Cols {
 		out.Cols[c] = types.NewVector(g.colType(c), len(g.order))
 	}
-	for _, k := range g.order {
-		grp := g.groups[k]
+	n := 0
+	err := g.Drain(ctx, func(_ string, grp *group) error {
 		for c, v := range grp.keys {
 			out.Cols[c].Append(v)
 		}
 		for i, st := range grp.states {
 			out.Cols[len(grp.keys)+i].Append(st.Final())
 		}
+		n++
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	out.N = len(g.order)
+	out.N = n
 	return out, nil
 }
 

@@ -6,6 +6,14 @@ import (
 	"redshift/internal/types"
 )
 
+// Memory-accounting constants: estimated heap overhead beyond payload
+// bytes for hash-table bookkeeping. Coarse by design — the tracker
+// governs budgets, it is not a profiler.
+const (
+	joinKeyOverhead = 64 // map bucket + string header + slice header per distinct key
+	joinPosBytes    = 8  // one build-row position in a key's match list
+)
+
 // HashJoin joins a probe (left) stream against a fully built (right) side.
 // The build side is the inner table — the side the planner chose to
 // broadcast, shuffle or read locally.
@@ -17,7 +25,25 @@ type HashJoin struct {
 	rightWidth int
 	table      map[string][]int // key → build row positions
 	build      *Batch           // concatenated build rows (right-local layout)
+	buildTypes []types.Type     // right-side column types, noted from build input
 	residual   *Filter          // over the joined layout, inner joins only
+
+	mc      *MemContext // nil → ungoverned (unlimited in-memory build)
+	charged int64       // bytes currently charged for build batch + table
+	spill   *graceSpill // non-nil once the build exceeded its grant
+}
+
+// SetMemory attaches the join to the query's memory governance. Must be
+// called before Build.
+func (j *HashJoin) SetMemory(mc *MemContext) { j.mc = mc }
+
+// Spilled reports whether the build side went to disk.
+func (j *HashJoin) Spilled() bool { return j.spill != nil }
+
+// ReleaseMem returns every byte the join still has charged.
+func (j *HashJoin) ReleaseMem() {
+	j.mc.release()
+	j.charged = 0
 }
 
 // NewHashJoin prepares a join. rightWidth is the number of columns in the
@@ -52,8 +78,15 @@ func NewHashJoin(mode Mode, step plan.JoinStep, rightWidth int) (*HashJoin, erro
 	return j, nil
 }
 
-// Build adds one batch of the inner side to the hash table.
+// Build adds one batch of the inner side to the hash table. Each batch is
+// charged against the query's memory grant; the batch that would exceed
+// it flips the join into grace-spill mode, repartitioning everything
+// built so far out to the scratch dir.
 func (j *HashJoin) Build(b *Batch) error {
+	j.noteBuildTypes(b)
+	if j.spill != nil {
+		return j.spill.addBuild(b)
+	}
 	base := j.build.N
 	// Materialize any nil columns as typed empties so Concat stays aligned.
 	if err := j.alignAndConcat(b); err != nil {
@@ -67,6 +100,7 @@ func (j *HashJoin) Build(b *Batch) error {
 		}
 		keyVecs[i] = v
 	}
+	delta := b.ByteSize()
 	keyRow := make([]types.Value, len(keyVecs))
 	for r := 0; r < b.N; r++ {
 		null := false
@@ -80,9 +114,57 @@ func (j *HashJoin) Build(b *Batch) error {
 			continue // NULL keys never match
 		}
 		k := KeyEncoder(keyRow)
+		if _, ok := j.table[k]; !ok {
+			delta += joinKeyOverhead + int64(len(k))
+		}
+		delta += joinPosBytes
 		j.table[k] = append(j.table[k], base+r)
 	}
+	if !j.mc.tryGrow(delta) {
+		return j.enterSpill()
+	}
+	j.charged += delta
 	return nil
+}
+
+// enterSpill switches to grace-join mode: the accumulated build side is
+// hash-partitioned to disk and its memory charge released.
+func (j *HashJoin) enterSpill() error {
+	g, err := newGraceSpill(j)
+	if err != nil {
+		return err
+	}
+	j.spill = g
+	full := j.build
+	j.table = make(map[string][]int)
+	j.build = NewBatch(j.rightWidth)
+	if err := g.addBuild(full); err != nil {
+		return err
+	}
+	j.mc.shrink(j.charged)
+	j.charged = 0
+	return nil
+}
+
+// noteBuildTypes remembers the build side's column types from the first
+// batch that carries them. LEFT JOIN null-extension needs the types to
+// materialize NULL columns when a build side (or a grace-spill partition
+// of it) ends up with zero rows — e.g. every build key was NULL.
+func (j *HashJoin) noteBuildTypes(b *Batch) {
+	if j.buildTypes != nil || b == nil {
+		return
+	}
+	seen := false
+	ts := make([]types.Type, len(b.Cols))
+	for c, v := range b.Cols {
+		if v != nil {
+			ts[c] = v.T
+			seen = true
+		}
+	}
+	if seen {
+		j.buildTypes = ts
+	}
 }
 
 func (j *HashJoin) alignAndConcat(b *Batch) error {
@@ -110,9 +192,35 @@ func (j *HashJoin) alignAndConcat(b *Batch) error {
 // BuildRows returns how many rows the build side holds.
 func (j *HashJoin) BuildRows() int { return j.build.N }
 
+// shadow builds a fresh in-memory join sharing j's compiled evaluators —
+// the per-partition join used when replaying grace-spill partitions. The
+// shadow is ungoverned (the caller reserved the partition's bytes).
+func (j *HashJoin) shadow() *HashJoin {
+	return &HashJoin{
+		kind:       j.kind,
+		mode:       j.mode,
+		leftKeys:   j.leftKeys,
+		buildKeys:  j.buildKeys,
+		rightWidth: j.rightWidth,
+		table:      make(map[string][]int),
+		build:      NewBatch(j.rightWidth),
+		buildTypes: j.buildTypes,
+		residual:   j.residual,
+	}
+}
+
 // Probe joins one left batch, returning the joined batch (left columns
 // followed by right columns).
 func (j *HashJoin) Probe(left *Batch) (*Batch, error) {
+	return j.ProbeCarry(left, nil)
+}
+
+// ProbeCarry probes like Probe but additionally gathers carry (a
+// probe-aligned vector) through the match expansion, appending it as one
+// extra trailing column. The grace join uses it to thread each probe
+// row's global sequence number through per-partition joins so partition
+// outputs can be merged back into the exact in-memory probe order.
+func (j *HashJoin) ProbeCarry(left *Batch, carry *types.Vector) (*Batch, error) {
 	keyVecs := make([]*types.Vector, len(j.leftKeys))
 	for i, ev := range j.leftKeys {
 		v, err := ev.Eval(left)
@@ -148,6 +256,9 @@ func (j *HashJoin) Probe(left *Batch) (*Batch, error) {
 		}
 	}
 	out := j.assemble(left, leftSel, rightSel)
+	if carry != nil {
+		out.Cols = append(out.Cols, carry.Gather(leftSel))
+	}
 	return j.residual.Apply(out)
 }
 
@@ -163,6 +274,19 @@ func (j *HashJoin) assemble(left *Batch, leftSel, rightSel []int) *Batch {
 	}
 	for c, v := range j.build.Cols {
 		if v == nil {
+			// A build side with zero materialized rows still null-extends
+			// under LEFT JOIN; emit typed all-NULL columns rather than nil.
+			if out.N > 0 {
+				t := types.Int64
+				if c < len(j.buildTypes) && j.buildTypes[c] != types.Invalid {
+					t = j.buildTypes[c]
+				}
+				nv := types.NewVector(t, out.N)
+				for i := 0; i < out.N; i++ {
+					nv.AppendNull()
+				}
+				out.Cols[len(left.Cols)+c] = nv
+			}
 			continue
 		}
 		// rightSel holds -1 for unmatched left rows; Gather null-extends.

@@ -173,11 +173,16 @@ func (o *ProjectOp) Close() error { return o.child.Close() }
 
 // HashJoinOp is the join's pipeline breaker on the build side only: Open
 // drains the build child into the hash table, then probe batches stream
-// through without materialization.
+// through without materialization. If the build side overflowed its
+// memory grant, Next instead drains the probe side into grace-join
+// partitions and streams the merged per-partition join output, which is
+// row-for-row identical to the in-memory order.
 type HashJoinOp struct {
 	join  *HashJoin
 	build Operator
 	probe Operator
+
+	spillOut batchStream // set once the spilled probe has been partitioned and joined
 }
 
 // NewHashJoinOp pairs a prepared HashJoin with its input operators.
@@ -211,6 +216,9 @@ func (o *HashJoinOp) Open(ctx context.Context) error {
 }
 
 func (o *HashJoinOp) Next(ctx context.Context) (*Batch, error) {
+	if o.join.Spilled() {
+		return o.spillNext(ctx)
+	}
 	for {
 		b, err := o.probe.Next(ctx)
 		if err != nil || b == nil {
@@ -232,7 +240,48 @@ func (o *HashJoinOp) Next(ctx context.Context) (*Batch, error) {
 	}
 }
 
-func (o *HashJoinOp) Close() error { return o.probe.Close() }
+// spillNext runs the grace join: partition the whole probe stream to
+// scratch files, join each partition pair, then stream the seq-merged
+// output with the carry column stripped.
+func (o *HashJoinOp) spillNext(ctx context.Context) (*Batch, error) {
+	if o.spillOut == nil {
+		for {
+			b, err := o.probe.Next(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				break
+			}
+			err = o.join.spill.addProbe(b)
+			PutBatch(b)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out, err := o.join.spill.run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		o.spillOut = out
+	}
+	for {
+		b, err := o.spillOut.Next(ctx)
+		if err != nil || b == nil {
+			return nil, err
+		}
+		b.Cols = b.Cols[:len(b.Cols)-1] // strip the probe-sequence carry
+		if b.N > 0 {
+			return b, nil
+		}
+		PutBatch(b)
+	}
+}
+
+func (o *HashJoinOp) Close() error {
+	o.join.ReleaseMem()
+	return o.probe.Close()
+}
 
 // PartialAggOp is a full pipeline breaker: it folds its entire input into a
 // slice-local group table and emits nothing — the leader merges the tables.
@@ -331,14 +380,16 @@ func (o *StreamDistinctOp) Next(ctx context.Context) (*Batch, error) {
 
 func (o *StreamDistinctOp) Close() error { return o.child.Close() }
 
-// TopNOp is a pipeline breaker: it materializes its whole input, sorts it,
-// truncates to the limit, and emits exactly one batch (possibly empty) —
-// the slice-local ORDER BY + LIMIT pushdown.
+// TopNOp is a pipeline breaker: it sorts its whole input through an
+// ExternalSorter (spilling runs when over the memory grant), truncates to
+// the limit, and emits exactly one batch (possibly empty) — the
+// slice-local ORDER BY + LIMIT pushdown.
 type TopNOp struct {
 	child Operator
 	keys  []plan.OrderKey
 	limit int64
 	width int
+	mc    *MemContext
 	done  bool
 }
 
@@ -347,6 +398,9 @@ func NewTopNOp(child Operator, keys []plan.OrderKey, limit int64, width int) *To
 	return &TopNOp{child: child, keys: keys, limit: limit, width: width}
 }
 
+// SetMemory attaches the operator to the query's memory governance.
+func (o *TopNOp) SetMemory(mc *MemContext) { o.mc = mc }
+
 func (o *TopNOp) Open(ctx context.Context) error { return o.child.Open(ctx) }
 
 func (o *TopNOp) Next(ctx context.Context) (*Batch, error) {
@@ -354,7 +408,7 @@ func (o *TopNOp) Next(ctx context.Context) (*Batch, error) {
 		return nil, nil
 	}
 	o.done = true
-	merged := NewBatch(o.width)
+	sorter := NewExternalSorter(o.keys, o.width, o.mc)
 	for {
 		b, err := o.child.Next(ctx)
 		if err != nil {
@@ -363,30 +417,66 @@ func (o *TopNOp) Next(ctx context.Context) (*Batch, error) {
 		if b == nil {
 			break
 		}
-		if err := merged.Concat(b); err != nil {
+		err = sorter.Add(b)
+		// Add copied the rows; the streamed batch is spent.
+		PutBatch(b)
+		if err != nil {
 			return nil, err
 		}
-		// Concat copied the rows; the streamed batch is spent.
-		PutBatch(b)
 	}
-	merged = SortBatch(merged, o.keys)
-	return TopN(merged, o.limit), nil
+	return collectSorted(ctx, sorter, o.width, o.limit)
 }
 
-func (o *TopNOp) Close() error { return o.child.Close() }
+// collectSorted drains a sorter's merged stream into one batch, stopping
+// once limit rows (if any) have been gathered.
+func collectSorted(ctx context.Context, sorter *ExternalSorter, width int, limit int64) (*Batch, error) {
+	stream, err := sorter.Stream(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := NewBatch(width)
+	for {
+		if limit >= 0 && int64(out.N) >= limit {
+			break
+		}
+		b, err := stream.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		err = out.Concat(b)
+		PutBatch(b)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return TopN(out, limit), nil
+}
+
+func (o *TopNOp) Close() error {
+	o.mc.release()
+	return o.child.Close()
+}
 
 // GroupMergeOp is the leader's aggregation phase: it merges the per-slice
-// partial tables and emits the aggregate layout once. ship observes each
-// non-leader table before merging (gather-transfer accounting).
+// partial tables into a fresh leader table and emits the aggregate layout
+// once. A dedicated leader table (rather than reusing slice 0's) keeps
+// the merge correct when slice tables spilled: draining a spilled table
+// interleaves resident and re-aggregated groups, and merging into a table
+// with its own pending partitions would double-emit keys. ship observes
+// each non-leader table before merging (gather-transfer accounting).
 type GroupMergeOp struct {
+	leader *GroupTable
 	tables []*GroupTable
 	ship   func(sl int, t *GroupTable)
 	done   bool
 }
 
 // NewGroupMergeOp prepares the leader merge; ship may be nil.
-func NewGroupMergeOp(tables []*GroupTable, ship func(sl int, t *GroupTable)) *GroupMergeOp {
-	return &GroupMergeOp{tables: tables, ship: ship}
+func NewGroupMergeOp(leader *GroupTable, tables []*GroupTable, ship func(sl int, t *GroupTable)) *GroupMergeOp {
+	return &GroupMergeOp{leader: leader, tables: tables, ship: ship}
 }
 
 func (o *GroupMergeOp) Open(ctx context.Context) error { return nil }
@@ -396,18 +486,24 @@ func (o *GroupMergeOp) Next(ctx context.Context) (*Batch, error) {
 		return nil, nil
 	}
 	o.done = true
-	leader := o.tables[0]
-	for sl := 1; sl < len(o.tables); sl++ {
-		t := o.tables[sl]
-		if o.ship != nil {
+	for sl, t := range o.tables {
+		if sl > 0 && o.ship != nil {
 			o.ship(sl, t)
 		}
-		leader.Merge(t)
+		if err := o.leader.MergeCtx(ctx, t); err != nil {
+			return nil, err
+		}
 	}
-	return leader.Result()
+	return o.leader.ResultCtx(ctx)
 }
 
-func (o *GroupMergeOp) Close() error { return nil }
+func (o *GroupMergeOp) Close() error {
+	o.leader.ReleaseMem()
+	for _, t := range o.tables {
+		t.ReleaseMem()
+	}
+	return nil
+}
 
 // LeaderMergeOp gathers per-slice result streams at the leader: a sorted
 // merge when every slice pre-sorted its output (the top-N pushdown path),
@@ -466,12 +562,18 @@ func (o *LeaderMergeOp) Close() error { return nil }
 // FinalizeOp applies leader-side DISTINCT, ORDER BY and LIMIT. It is a
 // breaker when any of those is set; either way it emits exactly one batch
 // so the driver always has a well-formed (possibly empty) result.
+// DISTINCT filters streamwise (first occurrence wins, as before), ORDER
+// BY runs through an ExternalSorter so a larger-than-memory leader sort
+// spills runs instead of holding everything; without ORDER BY the leader
+// must materialize the result anyway and the concat is charged (forced)
+// so peak accounting stays honest.
 type FinalizeOp struct {
 	child    Operator
 	distinct bool
 	keys     []plan.OrderKey
 	limit    int64
 	width    int
+	mc       *MemContext
 	done     bool
 }
 
@@ -481,14 +583,27 @@ func NewFinalizeOp(child Operator, distinct bool, keys []plan.OrderKey, limit in
 	return &FinalizeOp{child: child, distinct: distinct, keys: keys, limit: limit, width: width}
 }
 
-func (o *FinalizeOp) Open(ctx context.Context) error { return o.child.Open(ctx) }
+// SetMemory attaches the operator to the query's memory governance.
+func (o *FinalizeOp) SetMemory(mc *MemContext) { o.mc = mc }
 
 func (o *FinalizeOp) Next(ctx context.Context) (*Batch, error) {
 	if o.done {
 		return nil, nil
 	}
 	o.done = true
-	merged := NewBatch(o.width)
+	var seen map[string]bool
+	var row []types.Value
+	if o.distinct {
+		seen = map[string]bool{}
+		row = make([]types.Value, o.width)
+	}
+	var sorter *ExternalSorter
+	var merged *Batch
+	if len(o.keys) > 0 {
+		sorter = NewExternalSorter(o.keys, o.width, o.mc)
+	} else {
+		merged = NewBatch(o.width)
+	}
 	for {
 		b, err := o.child.Next(ctx)
 		if err != nil {
@@ -500,20 +615,58 @@ func (o *FinalizeOp) Next(ctx context.Context) (*Batch, error) {
 		if b.N == 0 {
 			continue
 		}
-		if err := merged.Concat(b); err != nil {
+		// Leader-merge batches are shared with the gather lists, so the
+		// child's batches are never released here; gathered copies are.
+		fb := b
+		if o.distinct {
+			var sel []int
+			for i := 0; i < b.N; i++ {
+				for c, v := range b.Cols {
+					if v != nil {
+						row[c] = v.Get(i)
+					} else {
+						row[c] = types.Value{}
+					}
+				}
+				k := KeyEncoder(row)
+				if !seen[k] {
+					seen[k] = true
+					o.mc.grow(int64(len(k)) + 48)
+					sel = append(sel, i)
+				}
+			}
+			if len(sel) == 0 {
+				continue
+			}
+			if len(sel) < b.N {
+				fb = b.Gather(sel)
+			}
+		}
+		if sorter != nil {
+			err = sorter.Add(fb)
+		} else {
+			err = merged.Concat(fb)
+			o.mc.grow(fb.ByteSize())
+		}
+		if fb != b {
+			PutBatch(fb)
+		}
+		if err != nil {
 			return nil, err
 		}
 	}
-	if o.distinct {
-		merged = Distinct(merged)
-	}
-	if len(o.keys) > 0 {
-		merged = SortBatch(merged, o.keys)
+	if sorter != nil {
+		return collectSorted(ctx, sorter, o.width, o.limit)
 	}
 	return TopN(merged, o.limit), nil
 }
 
-func (o *FinalizeOp) Close() error { return o.child.Close() }
+func (o *FinalizeOp) Open(ctx context.Context) error { return o.child.Open(ctx) }
+
+func (o *FinalizeOp) Close() error {
+	o.mc.release()
+	return o.child.Close()
+}
 
 // FlightTracker counts batches that have been produced but not yet retired
 // anywhere in a query's pipelines — including batches parked in exchange

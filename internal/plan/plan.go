@@ -166,6 +166,17 @@ func (p *Plan) Explain() string {
 	return BuildPhysical(p).Explain()
 }
 
+// ExplainWithMemory renders Explain plus the query's memory grant when
+// one is in effect (grant > 0); ungoverned plans render unchanged so the
+// plain EXPLAIN output stays stable.
+func (p *Plan) ExplainWithMemory(grant int64) string {
+	out := p.Explain()
+	if grant > 0 {
+		out += fmt.Sprintf("Memory Grant: %d bytes (spills to disk beyond it)\n", grant)
+	}
+	return out
+}
+
 func scanDetail(s *TableScan) string {
 	var parts []string
 	if s.Filter != nil {

@@ -28,6 +28,11 @@ type QueryRecord struct {
 	// "cancelled" (user CANCEL / context cancellation) or "timeout"
 	// (statement_timeout). Empty means success for old producers.
 	State string
+	// MemPeak is the high-water mark of execution memory tracked against
+	// the query's grant; SpillBytes is what its operators wrote to scratch
+	// files (0 when the query stayed in memory).
+	MemPeak    int64
+	SpillBytes int64
 	// Trace is the query's span tree (may be nil for aborted plans).
 	Trace *Span
 }

@@ -82,6 +82,14 @@ type Options struct {
 	// StatementTimeout bounds every SELECT's wall-clock time (0 =
 	// unlimited); SET statement_timeout TO <ms> overrides it per session.
 	StatementTimeout time.Duration
+	// WLMSlotMemBytes is the execution-memory pool split evenly across WLM
+	// slots: each SELECT runs under pool/slots bytes and spills its joins,
+	// sorts and aggregations to disk beyond that. 0 disables governance.
+	// SET work_mem TO '<size>' overrides the per-query grant per session.
+	WLMSlotMemBytes int64
+	// SpillDir overrides where per-query scratch directories are created
+	// (default: a redshift-spill dir under the OS temp dir).
+	SpillDir string
 }
 
 // Result is one statement's outcome.
@@ -246,6 +254,8 @@ func (w *Warehouse) coreConfig(nodes int) core.Config {
 		BlockCacheBytes:  w.opts.BlockCacheBytes,
 		Faults:           w.inj,
 		StatementTimeout: w.opts.StatementTimeout,
+		WLMSlotMemBytes:  w.opts.WLMSlotMemBytes,
+		SpillDir:         w.opts.SpillDir,
 	}
 }
 
