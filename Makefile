@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-scan bench-spill chaos spill
+.PHONY: build test race bench bench-scan bench-spill bench-plan chaos spill
 
 build:
 	$(GO) build ./...
@@ -45,3 +45,9 @@ spill:
 # external-sort disk paths stay runnable (BENCH_spill.json has real runs).
 bench-spill:
 	$(GO) test -bench 'SpillJoin|ExternalSort' -benchtime 1x -run '^$$' ./internal/exec
+
+# One-iteration plan-quality benchmark: CI smoke that the cost-based join
+# reorderer and the syntax-order escape hatch both stay runnable
+# (BENCH_plan.json has real runs comparing bytes moved).
+bench-plan:
+	$(GO) test -bench PlanQuality -benchtime 1x -run '^$$' .

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"redshift/internal/compress"
+	"redshift/internal/hll"
 	"redshift/internal/types"
 )
 
@@ -173,12 +174,41 @@ func (t *TableDef) Validate() error {
 }
 
 // ColumnStats summarizes one column for the optimizer and the zone-map-aware
-// planner: bounds, null count and a distinct-value estimate.
+// planner: bounds, null count, a distinct-value estimate and the average
+// value width.
 type ColumnStats struct {
 	Min, Max  types.Value
 	NullCount int64
 	// NDV is the estimated number of distinct values (HyperLogLog).
 	NDV int64
+	// Sketch is the serialized HLL sketch behind NDV. Keeping the sketch
+	// lets per-slice (and per-segment) statistics merge losslessly: unioning
+	// sketches estimates the distinct count of the union, where taking the
+	// max of per-slice NDVs collapses a hash-distributed column to a
+	// one-slice lower bound (~NDV/slices).
+	Sketch []byte `json:",omitempty"`
+	// WidthSum is the total byte width of the column's non-null values
+	// (8 for fixed-width types, len(s) for strings); WidthSum/(rows-nulls)
+	// is the average row width the cost model prices data movement with.
+	WidthSum int64
+}
+
+// NullFrac returns the fraction of NULLs given the table's row count.
+func (c *ColumnStats) NullFrac(rows int64) float64 {
+	if rows <= 0 {
+		return 0
+	}
+	return float64(c.NullCount) / float64(rows)
+}
+
+// AvgWidth returns the average non-null value width in bytes, or def when
+// the column has no recorded widths (pre-upgrade stats, all-NULL column).
+func (c *ColumnStats) AvgWidth(rows int64, def float64) float64 {
+	nonNull := rows - c.NullCount
+	if c.WidthSum <= 0 || nonNull <= 0 {
+		return def
+	}
+	return float64(c.WidthSum) / float64(nonNull)
 }
 
 // TableStats summarizes a table. Stats update automatically on COPY (§2.1:
@@ -201,6 +231,7 @@ func (s *TableStats) Merge(other TableStats) {
 		s.Cols = make([]ColumnStats, len(other.Cols))
 		for i := range s.Cols {
 			s.Cols[i] = other.Cols[i]
+			s.Cols[i].Sketch = append([]byte(nil), other.Cols[i].Sketch...)
 		}
 		return
 	}
@@ -210,6 +241,7 @@ func (s *TableStats) Merge(other TableStats) {
 		}
 		o := other.Cols[i]
 		s.Cols[i].NullCount += o.NullCount
+		s.Cols[i].WidthSum += o.WidthSum
 		if o.Min.T != types.Invalid {
 			if s.Cols[i].Min.T == types.Invalid || types.Compare(o.Min, s.Cols[i].Min) < 0 {
 				s.Cols[i].Min = o.Min
@@ -220,11 +252,36 @@ func (s *TableStats) Merge(other TableStats) {
 				s.Cols[i].Max = o.Max
 			}
 		}
-		// NDV does not sum across slices; take the max as a lower bound.
-		// Exact merging happens where the HLL sketches are available.
-		if o.NDV > s.Cols[i].NDV {
-			s.Cols[i].NDV = o.NDV
+		mergeNDV(&s.Cols[i], o)
+	}
+}
+
+// mergeNDV folds the other side's distinct-value estimate into dst. When
+// both sides carry HLL sketches the union is lossless: register-wise max
+// then re-estimate. A side without a sketch (stats written before sketches
+// were persisted) degrades to the old max-as-lower-bound rule, and the
+// surviving sketch — now covering only part of the data — stays as a
+// lower-bound witness.
+func mergeNDV(dst *ColumnStats, o ColumnStats) {
+	if len(o.Sketch) > 0 {
+		if len(dst.Sketch) > 0 {
+			a, errA := hll.Unmarshal(dst.Sketch)
+			b, errB := hll.Unmarshal(o.Sketch)
+			if errA == nil && errB == nil {
+				a.Merge(b)
+				dst.Sketch = a.Marshal()
+				dst.NDV = a.Estimate()
+				return
+			}
+		} else if dst.NDV == 0 {
+			// dst has seen no values yet: adopt the other side wholesale.
+			dst.Sketch = append([]byte(nil), o.Sketch...)
+			dst.NDV = o.NDV
+			return
 		}
+	}
+	if o.NDV > dst.NDV {
+		dst.NDV = o.NDV
 	}
 }
 
@@ -333,9 +390,18 @@ func (c *Catalog) Stats(id int64) (TableStats, error) {
 	if !ok {
 		return TableStats{}, fmt.Errorf("catalog: no stats for table id %d", id)
 	}
+	return copyStats(s), nil
+}
+
+// copyStats deep-copies table statistics so callers (and concurrent
+// merges) never alias the catalog's sketch buffers.
+func copyStats(s *TableStats) TableStats {
 	cp := *s
 	cp.Cols = append([]ColumnStats(nil), s.Cols...)
-	return cp, nil
+	for i := range cp.Cols {
+		cp.Cols[i].Sketch = append([]byte(nil), cp.Cols[i].Sketch...)
+	}
+	return cp
 }
 
 // UpdateStats folds a statistics delta into the table's stats.
@@ -357,8 +423,7 @@ func (c *Catalog) ReplaceStats(id int64, stats TableStats) error {
 	if _, ok := c.stats[id]; !ok {
 		return fmt.Errorf("catalog: no stats for table id %d", id)
 	}
-	cp := stats
-	cp.Cols = append([]ColumnStats(nil), stats.Cols...)
+	cp := copyStats(&stats)
 	c.stats[id] = &cp
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"redshift/internal/compress"
+	"redshift/internal/hll"
 	"redshift/internal/types"
 )
 
@@ -285,5 +286,113 @@ func TestDistSortStyleStrings(t *testing.T) {
 	}
 	if SortNone.String() != "NONE" || SortCompound.String() != "COMPOUND" || SortInterleaved.String() != "INTERLEAVED" {
 		t.Error("SortStyle names wrong")
+	}
+}
+
+// sliceStats builds one slice's worth of per-column stats over the given
+// int64 values, the way load.ComputeStats would: exact count, an HLL
+// sketch, and width sums.
+func sliceStats(vals []int64) TableStats {
+	sk := hll.New()
+	cs := ColumnStats{WidthSum: int64(len(vals)) * 8}
+	for i, v := range vals {
+		sk.AddInt64(v)
+		val := types.NewInt(v)
+		if i == 0 {
+			cs.Min, cs.Max = val, val
+			continue
+		}
+		if types.Compare(val, cs.Min) < 0 {
+			cs.Min = val
+		}
+		if types.Compare(val, cs.Max) > 0 {
+			cs.Max = val
+		}
+	}
+	cs.NDV = sk.Estimate()
+	cs.Sketch = sk.Marshal()
+	return TableStats{Rows: int64(len(vals)), Cols: []ColumnStats{cs}}
+}
+
+// Regression for the NDV merge bug: per-slice stats carry HLL sketches, so
+// merging four hash-distributed slices (disjoint value ranges) must report
+// the union's distinct count — not the max of any one slice's quarter.
+func TestMergeUnionsNDVSketches(t *testing.T) {
+	const slices, perSlice = 4, 5000
+	var merged TableStats
+	for s := 0; s < slices; s++ {
+		vals := make([]int64, perSlice)
+		for i := range vals {
+			vals[i] = int64(s*perSlice + i) // disjoint ranges per slice
+		}
+		merged.Merge(sliceStats(vals))
+	}
+	const truth = slices * perSlice
+	if merged.Rows != truth {
+		t.Fatalf("Rows = %d, want %d", merged.Rows, truth)
+	}
+	ndv := merged.Cols[0].NDV
+	if lo, hi := int64(truth*95/100), int64(truth*105/100); ndv < lo || ndv > hi {
+		t.Errorf("merged NDV = %d, want within 5%% of %d", ndv, truth)
+	}
+	if ndv <= perSlice*105/100 {
+		t.Errorf("merged NDV = %d looks like one slice's max, not the union", ndv)
+	}
+	if w := merged.Cols[0].WidthSum; w != truth*8 {
+		t.Errorf("WidthSum = %d, want %d", w, truth*8)
+	}
+}
+
+// Without sketches the merge degrades to the old max-of-NDV bound rather
+// than inventing counts.
+func TestMergeWithoutSketchesFallsBackToMax(t *testing.T) {
+	a := TableStats{Rows: 10, Cols: []ColumnStats{{NDV: 7}}}
+	b := TableStats{Rows: 10, Cols: []ColumnStats{{NDV: 9}}}
+	a.Merge(b)
+	if a.Cols[0].NDV != 9 {
+		t.Errorf("NDV = %d, want max fallback 9", a.Cols[0].NDV)
+	}
+}
+
+// NullFrac and AvgWidth derive from the merged counters.
+func TestNullFracAndAvgWidth(t *testing.T) {
+	cs := ColumnStats{NullCount: 25, WidthSum: 300}
+	if f := cs.NullFrac(100); f != 0.25 {
+		t.Errorf("NullFrac = %v", f)
+	}
+	if f := cs.NullFrac(0); f != 0 {
+		t.Errorf("NullFrac(0 rows) = %v", f)
+	}
+	// 75 non-null rows share 300 bytes -> 4 bytes/value.
+	if w := cs.AvgWidth(100, 16); w != 4 {
+		t.Errorf("AvgWidth = %v", w)
+	}
+	if w := (&ColumnStats{}).AvgWidth(100, 16); w != 16 {
+		t.Errorf("AvgWidth default = %v", w)
+	}
+}
+
+// Stats copies must not alias the stored sketch buffers.
+func TestStatsCopyDoesNotAliasSketches(t *testing.T) {
+	c := New()
+	def := clickTable()
+	c.Create(def)
+	st := sliceStats([]int64{1, 2, 3})
+	st.Cols = append(st.Cols, ColumnStats{}, ColumnStats{}) // 3 columns
+	st.Cols[0], st.Cols[1] = st.Cols[1], st.Cols[0]         // product_id carries the sketch
+	if err := c.ReplaceStats(def.ID, st); err != nil {
+		t.Fatal(err)
+	}
+	got1, _ := c.Stats(def.ID)
+	for i := range got1.Cols[1].Sketch {
+		got1.Cols[1].Sketch[i] = 0xFF // scribble on the copy
+	}
+	got2, _ := c.Stats(def.ID)
+	sk, err := hll.Unmarshal(got2.Cols[1].Sketch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est := sk.Estimate(); est != 3 {
+		t.Errorf("stored sketch corrupted through copy: estimate %d", est)
 	}
 }

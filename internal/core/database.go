@@ -176,7 +176,7 @@ type sliceStat struct {
 // Open builds an empty database on a fresh cluster.
 func Open(cfg Config) (*Database, error) {
 	if cfg.Plan.BroadcastRows == 0 {
-		cfg.Plan = plan.DefaultOptions()
+		cfg.Plan.BroadcastRows = plan.DefaultOptions().BroadcastRows
 	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = telemetry.NewRegistry()
@@ -209,7 +209,33 @@ func Open(cfg Config) (*Database, error) {
 	}
 	db.stmtTimeout.Store(int64(cfg.StatementTimeout))
 	db.workMem.Store(-1) // defer to the WLM grant until SET work_mem
+	// Give the planner the cluster's shape and a storage-level row-count
+	// fallback so never-ANALYZEd tables still get cardinality estimates.
+	db.cfg.Plan.NumNodes = cfg.Cluster.Nodes
+	db.cfg.Plan.TableRows = db.visibleRowCount
 	return db, nil
+}
+
+// visibleRowCount sums a table's currently visible segment rows straight
+// from the storage layer — the planner's statistics fallback for tables
+// that were never ANALYZEd. DISTSTYLE ALL counts one replica only.
+func (db *Database) visibleRowCount(tableID int64) int64 {
+	def, err := db.cat.GetByID(tableID)
+	if err != nil {
+		return -1
+	}
+	snapshot := db.txm.CurrentXid()
+	slices := db.cl.NumSlices()
+	if def.DistStyle == catalog.DistAll {
+		slices = db.cl.Config().SlicesPerNode
+	}
+	var total int64
+	for sl := 0; sl < slices; sl++ {
+		for _, seg := range db.cl.VisibleSegments(sl, tableID, snapshot) {
+			total += int64(seg.Rows)
+		}
+	}
+	return total
 }
 
 // effectiveMemBudget resolves the current per-query memory grant: the
@@ -925,19 +951,34 @@ func (db *Database) runAnalyze(s *sql.Analyze) (*Result, error) {
 	}
 	snapshot := db.txm.CurrentXid()
 	for _, def := range defs {
-		var rows []types.Row
-		for sl := 0; sl < db.cl.NumSlices(); sl++ {
-			for _, seg := range db.cl.VisibleSegments(sl, def.ID, snapshot) {
+		// Per-segment streaming: compute each segment's stats in isolation
+		// and Merge into the running total, so ANALYZE's memory is bounded
+		// by one segment regardless of table size. The merge is lossless
+		// because ColumnStats carries the HLL sketch bytes.
+		slices := db.cl.NumSlices()
+		if def.DistStyle == catalog.DistAll {
+			// A replicated table is duplicated per node; scanning one node's
+			// copy yields logical counters directly (Rows, NullCount,
+			// UnsortedRows), instead of replica-multiplied ones that then
+			// need dividing.
+			slices = db.cl.Config().SlicesPerNode
+		}
+		stats := catalog.TableStats{Cols: make([]catalog.ColumnStats, len(def.Columns))}
+		for sl := 0; sl < slices; sl++ {
+			for si, seg := range db.cl.VisibleSegments(sl, def.ID, snapshot) {
 				segRows, err := readSegmentRows(seg, db.cl)
 				if err != nil {
 					return nil, err
 				}
-				rows = append(rows, segRows...)
+				delta := load.ComputeStats(def, segRows)
+				if si > 0 || !seg.Sorted {
+					// Everything beyond the slice's first sorted run is
+					// unsorted work for VACUUM, same bookkeeping the
+					// incremental COPY path maintains.
+					delta.UnsortedRows = int64(seg.Rows)
+				}
+				stats.Merge(delta)
 			}
-		}
-		stats := load.ComputeStats(def, rows)
-		if def.DistStyle == catalog.DistAll && db.cl.NumNodes() > 0 {
-			stats.Rows /= int64(db.cl.NumNodes()) // logical rows, not copies
 		}
 		if err := db.cat.ReplaceStats(def.ID, stats); err != nil {
 			return nil, err

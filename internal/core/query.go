@@ -563,6 +563,7 @@ func (q *queryRun) buildChain(sl, nslices int) (exec.Operator, error) {
 			return nil, err
 		}
 		join.SetMemory(q.memCtx(pj.Probe))
+		join.SetSizeHint(ph.BuildDemand(ji, nslices))
 		cur = q.wrap(exec.NewHashJoinOp(join, build, cur), pj.Probe)
 	}
 
@@ -769,6 +770,9 @@ func (q *queryRun) emitSpans() {
 		sp := q.trace.StartChild(n.SpanName())
 		st := q.stats[n.ID]
 		sp.Add("rows", st.Rows.Load())
+		if n.EstRows >= 0 {
+			sp.Add("est_rows", n.EstRows)
+		}
 		sp.Add("batches", st.Batches.Load())
 		switch n.Kind {
 		case plan.PhysScan:

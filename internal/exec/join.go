@@ -31,11 +31,48 @@ type HashJoin struct {
 	mc      *MemContext // nil → ungoverned (unlimited in-memory build)
 	charged int64       // bytes currently charged for build batch + table
 	spill   *graceSpill // non-nil once the build exceeded its grant
+
+	// Planner size hint, applied lazily on the first Build.
+	hintBytes int64 // query-wide resident build demand estimate
+	hintRows  int64 // this slice's expected build rows
+	hinted    bool
 }
 
 // SetMemory attaches the join to the query's memory governance. Must be
 // called before Build.
 func (j *HashJoin) SetMemory(mc *MemContext) { j.mc = mc }
+
+// SetSizeHint primes the join with the planner's build-side estimate:
+// totalBytes is the query-wide resident demand across every concurrently
+// building slice, perSliceRows this slice's expected share of build rows.
+// A demand already past the query's grant flips the join straight into
+// grace-spill mode on its first Build — skipping the doomed in-memory
+// attempt and the wasted work of building, overflowing and repartitioning
+// — while an in-budget demand presizes the hash table. Zero values (no
+// estimate) leave the join's reactive behavior unchanged.
+func (j *HashJoin) SetSizeHint(totalBytes, perSliceRows int64) {
+	j.hintBytes, j.hintRows = totalBytes, perSliceRows
+	j.hinted = totalBytes > 0 || perSliceRows > 0
+}
+
+// applyHint acts on the planner's size hint once, before the first batch
+// is retained.
+func (j *HashJoin) applyHint() error {
+	j.hinted = false
+	if j.spill != nil || j.mc == nil || j.mc.T == nil || j.mc.Dir == nil {
+		if j.hintRows > 0 && j.spill == nil {
+			j.table = make(map[string][]int, j.hintRows)
+		}
+		return nil
+	}
+	if lim := j.mc.T.Limit(); lim > 0 && j.hintBytes > lim {
+		return j.enterSpill()
+	}
+	if j.hintRows > 0 {
+		j.table = make(map[string][]int, j.hintRows)
+	}
+	return nil
+}
 
 // Spilled reports whether the build side went to disk.
 func (j *HashJoin) Spilled() bool { return j.spill != nil }
@@ -84,6 +121,11 @@ func NewHashJoin(mode Mode, step plan.JoinStep, rightWidth int) (*HashJoin, erro
 // built so far out to the scratch dir.
 func (j *HashJoin) Build(b *Batch) error {
 	j.noteBuildTypes(b)
+	if j.hinted {
+		if err := j.applyHint(); err != nil {
+			return err
+		}
+	}
 	if j.spill != nil {
 		return j.spill.addBuild(b)
 	}

@@ -536,7 +536,10 @@ func columnBounds(rows []types.Row, col int) (lo, hi types.Value) {
 }
 
 // ComputeStats derives table statistics for a row set, including HLL
-// distinct estimates — shared by COPY's stats-on-load and ANALYZE.
+// distinct estimates — shared by COPY's stats-on-load and ANALYZE. The
+// per-column sketches are serialized into the stats so later Merges union
+// them losslessly instead of falling back to max-NDV lower bounds, and
+// per-column width sums feed the cost model's row-width estimates.
 func ComputeStats(def *catalog.TableDef, rows []types.Row) catalog.TableStats {
 	stats := catalog.TableStats{Rows: int64(len(rows)), Cols: make([]catalog.ColumnStats, len(def.Columns))}
 	sketches := make([]*hll.Sketch, len(def.Columns))
@@ -558,16 +561,20 @@ func ComputeStats(def *catalog.TableDef, rows []types.Row) catalog.TableStats {
 			}
 			switch v.T {
 			case types.String:
+				cs.WidthSum += int64(len(v.S))
 				sketches[ci].AddString(v.S)
 			case types.Float64:
+				cs.WidthSum += 8
 				sketches[ci].AddInt64(int64(v.F*1e6) ^ v.I)
 			default:
+				cs.WidthSum += 8
 				sketches[ci].AddInt64(v.I)
 			}
 		}
 	}
 	for ci := range stats.Cols {
 		stats.Cols[ci].NDV = sketches[ci].Estimate()
+		stats.Cols[ci].Sketch = sketches[ci].Marshal()
 	}
 	return stats
 }

@@ -24,6 +24,7 @@ func Build(cat *catalog.Catalog, stmt *sql.Select) (*Plan, error) {
 // BuildWith plans a SELECT with explicit options.
 func BuildWith(cat *catalog.Catalog, stmt *sql.Select, opts Options) (*Plan, error) {
 	b := &binder{cat: cat, opts: opts, plan: &Plan{Limit: stmt.Limit}}
+	stmt = b.reorderJoins(stmt)
 	if err := b.bindFrom(stmt); err != nil {
 		return nil, err
 	}
@@ -50,6 +51,15 @@ type binder struct {
 	// leftDistCol is the joined layout column the accumulated left side is
 	// currently hash-distributed by; -1 when not key-distributed.
 	leftDistCol int
+	// leftRows / leftRowBytes track the accumulated left side's estimated
+	// cardinality and per-row width as joins bind, feeding the data-movement
+	// cost model. leftRows is -1 when unknown.
+	leftRows     int64
+	leftRowBytes float64
+	// starOrder, when non-nil, lists table indexes in the query's original
+	// FROM order; join reordering sets it so `SELECT *` expands columns in
+	// the order the user wrote, keeping results identical across plans.
+	starOrder []int
 }
 
 // errf builds a uniform planner error.
@@ -70,6 +80,8 @@ func (b *binder) bindFrom(stmt *sql.Select) error {
 	if base.Def.DistStyle == catalog.DistKey {
 		b.leftDistCol = base.BaseCol + base.Def.DistKeyCol
 	}
+	b.leftRows = base.EstRows
+	b.leftRowBytes = estRowBytes(base)
 	for _, j := range stmt.Joins {
 		if err := b.bindJoin(j); err != nil {
 			return err
@@ -95,13 +107,27 @@ func (b *binder) addTable(ref *sql.TableRef) (*TableScan, error) {
 		last := b.plan.Tables[n-1]
 		base = last.BaseCol + len(last.Def.Columns)
 	}
-	scan := &TableScan{Def: def, Alias: ref.Alias, BaseCol: base, EstRows: -1}
-	if stats, err := b.cat.Stats(def.ID); err == nil {
-		scan.EstRows = stats.Rows
-	}
+	scan := &TableScan{Def: def, Alias: ref.Alias, BaseCol: base}
+	scan.EstRows, scan.Stats = b.tableEstRows(def)
 	b.plan.Tables = append(b.plan.Tables, scan)
 	b.refNames = append(b.refNames, name)
 	return scan, nil
+}
+
+// tableEstRows estimates a table's cardinality: catalog statistics when the
+// table has been ANALYZEd (Rows > 0 — the catalog keeps zeroed stats for
+// fresh tables), else the storage layer's visible-segment count, else -1.
+func (b *binder) tableEstRows(def *catalog.TableDef) (int64, *catalog.TableStats) {
+	if stats, err := b.cat.Stats(def.ID); err == nil && stats.Rows > 0 {
+		s := stats
+		return stats.Rows, &s
+	}
+	if b.opts.TableRows != nil {
+		if n := b.opts.TableRows(def.ID); n >= 0 {
+			return n, nil
+		}
+	}
+	return -1, nil
 }
 
 // layoutWidth is the number of columns in the joined layout so far.
@@ -145,6 +171,8 @@ func (b *binder) bindJoin(j sql.Join) error {
 	step.Residual = andAll(residuals)
 	b.chooseStrategy(&step, right)
 	b.plan.Joins = append(b.plan.Joins, step)
+	b.leftRows = estJoinRows(b.plan, &step, b.leftRows, right.EstRows)
+	b.leftRowBytes += estRowBytes(right)
 	return nil
 }
 
@@ -211,10 +239,27 @@ func (b *binder) chooseStrategy(step *JoinStep, right *TableScan) {
 			}
 		}
 	}
-	// Small inner side: broadcast it.
-	if stats, err := b.cat.Stats(right.Def.ID); err == nil && stats.Rows <= b.opts.BroadcastRows {
-		step.Strategy = StrategyBroadcast
-		return
+	// Cost the movement alternatives over estimated bytes: a broadcast
+	// replicates the inner side to every node; a shuffle redistributes one
+	// copy of each side. Pick whichever moves fewer bytes. BroadcastRows
+	// survives as an override cap — inner sides estimated above it never
+	// broadcast — and as the whole decision when one side's cardinality is
+	// unknown (legacy small-inner-side threshold).
+	if right.EstRows >= 0 && right.EstRows <= b.opts.BroadcastRows {
+		if b.leftRows < 0 {
+			step.Strategy = StrategyBroadcast
+			return
+		}
+		nodes := b.opts.NumNodes
+		if nodes < 1 {
+			nodes = 1
+		}
+		rightBytes := float64(right.EstRows) * estRowBytes(right)
+		leftBytes := float64(b.leftRows) * b.leftRowBytes
+		if rightBytes*float64(nodes) <= rightBytes+leftBytes {
+			step.Strategy = StrategyBroadcast
+			return
+		}
 	}
 	step.Strategy = StrategyShuffle
 	// After a shuffle both sides are redistributed by the first join key.
@@ -310,7 +355,8 @@ func (b *binder) bindSelectList(stmt *sql.Select) error {
 			items = append(items, item)
 			continue
 		}
-		for ti, scan := range b.plan.Tables {
+		for _, ti := range b.starTables() {
+			scan := b.plan.Tables[ti]
 			for _, col := range scan.Def.Columns {
 				items = append(items, sql.SelectItem{
 					Expr: &sql.ColumnRef{Table: b.refNames[ti], Column: col.Name},

@@ -148,13 +148,13 @@ func BuildPhysical(p *Plan) *Physical {
 	}
 
 	base := p.Tables[0]
-	cur := node(&PhysNode{Kind: PhysScan, Scan: base, EstRows: base.EstRows, Width: len(base.Def.Columns)})
+	cur := node(&PhysNode{Kind: PhysScan, Scan: base, EstRows: estScanOut(base), Width: len(base.Def.Columns)})
 	ph.Base = cur
 
 	for i := range p.Joins {
 		step := &p.Joins[i]
 		right := p.Tables[step.Right]
-		buildScan := node(&PhysNode{Kind: PhysScan, Scan: right, EstRows: right.EstRows, Width: len(right.Def.Columns)})
+		buildScan := node(&PhysNode{Kind: PhysScan, Scan: right, EstRows: estScanOut(right), Width: len(right.Def.Columns)})
 		build := buildScan
 		pj := PhysJoin{BuildScan: buildScan}
 		switch step.Strategy {
@@ -174,9 +174,9 @@ func BuildPhysical(p *Plan) *Physical {
 			pj.ProbeEx = probeEx
 			cur = probeEx
 		}
-		// FK-style heuristic: join output cardinality tracks the probe side.
 		jn := node(&PhysNode{Kind: PhysHashJoin, Scan: right, Join: step,
-			EstRows: cur.EstRows, Width: cur.Width + len(right.Def.Columns),
+			EstRows: estJoinRows(p, step, cur.EstRows, buildScan.EstRows),
+			Width:    cur.Width + len(right.Def.Columns),
 			Children: []*PhysNode{build, cur}})
 		pj.Probe = jn
 		ph.Joins = append(ph.Joins, pj)
@@ -184,18 +184,27 @@ func BuildPhysical(p *Plan) *Physical {
 	}
 
 	if p.Where != nil {
-		cur = node(&PhysNode{Kind: PhysFilter, EstRows: -1, Width: cur.Width, Children: []*PhysNode{cur}})
+		est := int64(-1)
+		if cur.EstRows >= 0 {
+			est = roundRows(float64(cur.EstRows) * selectivity(p.Where, layoutResolver(p)))
+		}
+		cur = node(&PhysNode{Kind: PhysFilter, EstRows: est, Width: cur.Width, Children: []*PhysNode{cur}})
 		ph.Where = cur
 	}
 
 	if p.HasAgg {
 		aggWidth := len(p.GroupBy) + len(p.Aggs)
-		cur = node(&PhysNode{Kind: PhysPartialAgg, EstRows: -1, Width: aggWidth, Children: []*PhysNode{cur}})
+		groups := estGroups(p, cur.EstRows)
+		cur = node(&PhysNode{Kind: PhysPartialAgg, EstRows: groups, Width: aggWidth, Children: []*PhysNode{cur}})
 		ph.PartialAgg = cur
-		cur = node(&PhysNode{Kind: PhysLeaderAgg, ExKind: ExchangeGather, EstRows: -1, Width: aggWidth, Children: []*PhysNode{cur}})
+		cur = node(&PhysNode{Kind: PhysLeaderAgg, ExKind: ExchangeGather, EstRows: groups, Width: aggWidth, Children: []*PhysNode{cur}})
 		ph.LeaderAgg = cur
 		if p.Having != nil {
-			cur = node(&PhysNode{Kind: PhysHaving, EstRows: -1, Width: aggWidth, Children: []*PhysNode{cur}})
+			est := int64(-1)
+			if groups >= 0 {
+				est = roundRows(float64(groups) * defaultSel)
+			}
+			cur = node(&PhysNode{Kind: PhysHaving, EstRows: est, Width: aggWidth, Children: []*PhysNode{cur}})
 			ph.Having = cur
 		}
 		cur = node(&PhysNode{Kind: PhysProject, EstRows: cur.EstRows, Width: len(p.Project), Children: []*PhysNode{cur}})
@@ -204,7 +213,9 @@ func BuildPhysical(p *Plan) *Physical {
 		cur = node(&PhysNode{Kind: PhysProject, EstRows: cur.EstRows, Width: len(p.Project), Children: []*PhysNode{cur}})
 		ph.Project = cur
 		if p.Distinct {
-			cur = node(&PhysNode{Kind: PhysPartialDistinct, EstRows: -1, Width: cur.Width, Children: []*PhysNode{cur}})
+			// Dedup keeps at most its input; without projected-column NDVs
+			// the input bound is the best statistics offer.
+			cur = node(&PhysNode{Kind: PhysPartialDistinct, EstRows: cur.EstRows, Width: cur.Width, Children: []*PhysNode{cur}})
 			ph.Distinct = cur
 		}
 		if p.SliceTopN() {

@@ -68,9 +68,14 @@ type TableScan struct {
 	// needs row counts only (COUNT(*) with no filter) — served from
 	// block metadata with zero decodes.
 	NeedCols []int
-	// EstRows is the statistics row-count estimate (-1 when the table has
-	// never been ANALYZEd), used for physical-plan annotations.
+	// EstRows is the table's estimated row count: catalog statistics when
+	// present, else the visible-segment fallback, else -1 (unknown).
 	EstRows int64
+	// Stats is the table's catalog statistics snapshot at plan time (nil
+	// when the table has never been ANALYZEd or loaded with stats); the
+	// selectivity estimator and cost model read per-column NDV, bounds,
+	// null fractions and widths from it.
+	Stats *catalog.TableStats
 }
 
 // JoinStep joins the accumulated left side with one more table.
@@ -194,8 +199,24 @@ func scanDetail(s *TableScan) string {
 // Options tunes planning decisions.
 type Options struct {
 	// BroadcastRows is the inner-table row-count threshold below which a
-	// join broadcasts the inner side instead of shuffling both.
+	// join broadcasts the inner side instead of shuffling both. Since the
+	// cost model prices broadcast vs shuffle from statistics, this is an
+	// override that only decides when one side's cardinality is unknown.
 	BroadcastRows int64
+	// TableRows estimates a table's current visible row count straight
+	// from the storage layer (summing visible segment rows). It is the
+	// planner's fallback for tables that have never been ANALYZEd or
+	// loaded with STATUPDATE — without it such tables would always look
+	// unknown and shuffle even when tiny. Returns -1 for unknown; nil
+	// disables the fallback.
+	TableRows func(tableID int64) int64
+	// NumNodes is the cluster's node count, pricing broadcast replication
+	// (a broadcast ships the inner side to every node). 0 is costed as 1.
+	NumNodes int
+	// SyntaxJoinOrder disables greedy join reordering so joins execute in
+	// literal FROM order — the pre-cost-based behavior, kept for plan
+	// regression baselines and the plan-quality benchmark's worst case.
+	SyntaxJoinOrder bool
 }
 
 // DefaultOptions returns the planner defaults.

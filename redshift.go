@@ -62,9 +62,14 @@ type Options struct {
 	// a cluster key wrapped by a master key, applied to all at-rest backup
 	// data. Also a checkbox.
 	Encrypted bool
-	// BroadcastRows overrides the planner's small-table broadcast
-	// threshold (0 keeps the default).
+	// BroadcastRows overrides the planner's broadcastable-inner-side cap
+	// (0 keeps the default). The cost model prices broadcast vs shuffle
+	// from statistics; this cap bounds what it may broadcast and decides
+	// alone when cardinalities are unknown.
 	BroadcastRows int64
+	// SyntaxJoinOrder disables cost-based join reordering so joins run in
+	// literal FROM order (plan-quality baselines, debugging).
+	SyntaxJoinOrder bool
 	// CohortSize overrides the replication cohort size (default 2).
 	CohortSize int
 	// QuerySlots bounds concurrent SELECTs via the workload manager
@@ -239,6 +244,7 @@ func (w *Warehouse) coreConfig(nodes int) core.Config {
 	if w.opts.BroadcastRows > 0 {
 		planOpts.BroadcastRows = w.opts.BroadcastRows
 	}
+	planOpts.SyntaxJoinOrder = w.opts.SyntaxJoinOrder
 	return core.Config{
 		Cluster: cluster.Config{
 			Nodes:         nodes,
