@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-scan bench-spill bench-plan chaos spill
+.PHONY: build test race bench bench-scan bench-spill bench-plan bench-serve chaos spill
 
 build:
 	$(GO) build ./...
@@ -13,7 +13,7 @@ test: build
 # block cache, and the telemetry registry.
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/cluster ./internal/core ./internal/exec ./internal/storage ./internal/telemetry
+	$(GO) test -race ./internal/cluster ./internal/core ./internal/exec ./internal/storage ./internal/telemetry ./internal/wire
 
 # Short randomized-fault run under the race detector: query battery with
 # injected read errors and latency spikes must match a fault-free twin, a
@@ -51,3 +51,10 @@ bench-spill:
 # (BENCH_plan.json has real runs comparing bytes moved).
 bench-plan:
 	$(GO) test -bench PlanQuality -benchtime 1x -run '^$$' .
+
+# One-iteration serving-path benchmarks: CI smoke that the 1k-session wire
+# throughput benchmark and the parser-pooling benchmark stay runnable
+# (BENCH_serve.json has real runs comparing cache-on vs cache-off qps).
+bench-serve:
+	$(GO) test -bench ServeThroughput -benchtime 1x -run '^$$' ./internal/wire
+	$(GO) test -bench ParsePooling -benchtime 1x -run '^$$' ./internal/sql

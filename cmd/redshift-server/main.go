@@ -33,15 +33,19 @@ func main() {
 	interpreted := flag.Bool("interpreted", false, "use the row-at-a-time engine")
 	encrypted := flag.Bool("encrypted", false, "encrypt all at-rest backup data (§3.2)")
 	slots := flag.Int("slots", 0, "WLM query slots (0 = unlimited)")
+	planCache := flag.Int("plan-cache", 0, "plan cache entries (0 = default 256, negative disables)")
+	resultCache := flag.Int64("result-cache-bytes", 0, "result cache budget (0 = default 32MiB, negative disables)")
 	metricsAddr := flag.String("metrics", "127.0.0.1:5440", "metrics HTTP address (empty disables)")
 	flag.Parse()
 
 	wh, err := redshift.Launch(redshift.Options{
-		Nodes:         *nodes,
-		SlicesPerNode: *slices,
-		Interpreted:   *interpreted,
-		Encrypted:     *encrypted,
-		QuerySlots:    *slots,
+		Nodes:            *nodes,
+		SlicesPerNode:    *slices,
+		Interpreted:      *interpreted,
+		Encrypted:        *encrypted,
+		QuerySlots:       *slots,
+		PlanCacheEntries: *planCache,
+		ResultCacheBytes: *resultCache,
 	})
 	if err != nil {
 		log.Fatalf("launch: %v", err)
@@ -53,7 +57,10 @@ func main() {
 		log.Printf("demo dataset loaded: tables products, sales")
 	}
 
-	srv := wire.NewServer(wh)
+	// One session per connection: prepared statements and SET variables are
+	// connection-scoped, and a client that disconnects mid-query has that
+	// query cancelled.
+	srv := wire.NewSessionServer(func() wire.SessionExecutor { return wh.NewSession() })
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatalf("listen: %v", err)

@@ -299,6 +299,17 @@ type Catalog struct {
 	// from the definition, updated by automatic selection).
 	encodings map[int64][]compress.Encoding
 	nextID    int64
+
+	// version is the global catalog version: a monotonic counter bumped by
+	// every DDL change (Create, Drop). Cached query plans carry the version
+	// they were bound under, so any schema change invalidates them by
+	// simple integer mismatch — no eviction scan.
+	version int64
+	// dataVer is each table's data version, bumped by every committed data
+	// mutation (COPY, INSERT, TRUNCATE, VACUUM) and by ANALYZE (statistics
+	// feed plans, so stats refreshes must also invalidate cached plans).
+	// Result-cache entries key on these, giving precise staleness checks.
+	dataVer map[int64]int64
 }
 
 // New returns an empty catalog.
@@ -308,7 +319,38 @@ func New() *Catalog {
 		byID:      map[int64]*TableDef{},
 		stats:     map[int64]*TableStats{},
 		encodings: map[int64][]compress.Encoding{},
+		dataVer:   map[int64]int64{},
 		nextID:    1,
+		version:   1,
+	}
+}
+
+// Version returns the global catalog version. It starts at 1 and increases
+// on every DDL change; equal versions guarantee identical schemas.
+func (c *Catalog) Version() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.version
+}
+
+// DataVersion returns the table's data version (0 for an unknown table; a
+// freshly created table starts at 1). Two reads returning the same value
+// bracket a window with no committed mutation of the table.
+func (c *Catalog) DataVersion(id int64) int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.dataVer[id]
+}
+
+// BumpDataVersion records a committed data mutation (or statistics refresh)
+// of the table. Callers bump AFTER the transaction publishes, so a result
+// cached under version v can never contain less data than v's bumps —
+// a version-matched cache hit is therefore never stale.
+func (c *Catalog) BumpDataVersion(id int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.byID[id]; ok {
+		c.dataVer[id]++
 	}
 }
 
@@ -329,6 +371,8 @@ func (c *Catalog) Create(def *TableDef) error {
 	c.byID[def.ID] = def
 	c.stats[def.ID] = &TableStats{Cols: make([]ColumnStats, len(def.Columns))}
 	c.encodings[def.ID] = def.Encodings()
+	c.dataVer[def.ID] = 1
+	c.version++
 	return nil
 }
 
@@ -345,6 +389,8 @@ func (c *Catalog) Drop(name string) error {
 	delete(c.byID, def.ID)
 	delete(c.stats, def.ID)
 	delete(c.encodings, def.ID)
+	delete(c.dataVer, def.ID)
+	c.version++
 	return nil
 }
 
@@ -491,6 +537,7 @@ func Unmarshal(data []byte) (*Catalog, error) {
 	for _, def := range snap.Tables {
 		c.byName[strings.ToLower(def.Name)] = def
 		c.byID[def.ID] = def
+		c.dataVer[def.ID] = 1
 	}
 	for id, s := range snap.Stats {
 		c.stats[id] = s

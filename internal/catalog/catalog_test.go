@@ -396,3 +396,79 @@ func TestStatsCopyDoesNotAliasSketches(t *testing.T) {
 		t.Errorf("stored sketch corrupted through copy: estimate %d", est)
 	}
 }
+
+func TestCatalogVersionBumpsOnDDL(t *testing.T) {
+	c := New()
+	v0 := c.Version()
+	if v0 < 1 {
+		t.Fatalf("initial version = %d, want >= 1", v0)
+	}
+	def := clickTable()
+	if err := c.Create(def); err != nil {
+		t.Fatal(err)
+	}
+	v1 := c.Version()
+	if v1 <= v0 {
+		t.Errorf("Create did not bump version: %d -> %d", v0, v1)
+	}
+	// A failed Create (duplicate) must not bump.
+	c.Create(clickTable())
+	if c.Version() != v1 {
+		t.Errorf("failed Create bumped version to %d", c.Version())
+	}
+	if err := c.Drop("clicks"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Version() <= v1 {
+		t.Errorf("Drop did not bump version: %d -> %d", v1, c.Version())
+	}
+}
+
+func TestDataVersionLifecycle(t *testing.T) {
+	c := New()
+	if got := c.DataVersion(42); got != 0 {
+		t.Errorf("unknown table data version = %d, want 0", got)
+	}
+	def := clickTable()
+	if err := c.Create(def); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.DataVersion(def.ID); got != 1 {
+		t.Errorf("fresh table data version = %d, want 1", got)
+	}
+	c.BumpDataVersion(def.ID)
+	c.BumpDataVersion(def.ID)
+	if got := c.DataVersion(def.ID); got != 3 {
+		t.Errorf("after two bumps data version = %d, want 3", got)
+	}
+	// Bumping an unknown ID is a no-op, not a resurrection.
+	c.BumpDataVersion(999)
+	if got := c.DataVersion(999); got != 0 {
+		t.Errorf("bump of unknown id materialized version %d", got)
+	}
+	if err := c.Drop("clicks"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.DataVersion(def.ID); got != 0 {
+		t.Errorf("dropped table data version = %d, want 0", got)
+	}
+}
+
+func TestUnmarshalSeedsDataVersions(t *testing.T) {
+	c := New()
+	def := clickTable()
+	if err := c.Create(def); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := c.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.DataVersion(def.ID); got != 1 {
+		t.Errorf("restored data version = %d, want 1", got)
+	}
+}

@@ -340,6 +340,9 @@ func TestQueryDuringNodeFailure(t *testing.T) {
 	// answering by failing over to secondary replicas.
 	db := openDB(t, exec.Compiled)
 	seedSales(t, db)
+	// The post-failure run must re-execute (failover is what's under
+	// test), not be served from the result cache.
+	mustExec(t, db, `SET result_cache TO off`)
 	before := mustExec(t, db, `SELECT COUNT(*), SUM(qty) FROM sales`)
 
 	db.Cluster().FailNode(1)

@@ -11,7 +11,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -69,6 +68,13 @@ type Config struct {
 	// SpillDir is where queries create per-query scratch directories when
 	// they exceed their grant; empty uses the OS temp dir.
 	SpillDir string
+	// PlanCacheEntries bounds the shared plan cache (entries, not bytes —
+	// plans are small and uniform). 0 means the default (256); negative
+	// disables plan caching.
+	PlanCacheEntries int
+	// ResultCacheBytes budgets the shared result cache. 0 means the
+	// default (32 MiB); negative disables result caching.
+	ResultCacheBytes int64
 }
 
 // Database is one warehouse cluster's SQL engine.
@@ -99,11 +105,17 @@ type Database struct {
 
 	// inj is the shared fault injector (nil-receiver safe, may be nil).
 	inj *faults.Injector
-	// stmtTimeout is the current statement_timeout in nanoseconds.
-	stmtTimeout atomic.Int64
-	// workMem is the SET work_mem override in bytes: -1 defers to the WLM
-	// grant, 0 runs unlimited, >0 is a per-query budget.
-	workMem atomic.Int64
+
+	// planCache and resultCache are the serving-path caches, shared across
+	// sessions and keyed on normalized SQL; entries carry catalog/table
+	// versions for lazy invalidation. Either may be nil (disabled).
+	planCache   *lruCache
+	resultCache *lruCache
+
+	// defaultSession backs the Database-level Execute entry points, so
+	// embedded users and tests that SET options through db.Execute keep
+	// the pre-session semantics. Wire connections get their own sessions.
+	defaultSession *Session
 
 	// qmu guards the running-query registry; nextQID hands out stl_query
 	// ids before execution so CANCEL <id> can find in-flight queries.
@@ -161,6 +173,9 @@ type Result struct {
 	// Message summarizes non-row statements ("CREATE TABLE", "COPY 500").
 	Message string
 	Stats   ExecStats
+	// Cached marks a result served from the result cache: no plan, no WLM
+	// slot, no operator execution, Stats all zero.
+	Cached bool
 }
 
 // sliceStat is one slice's cumulative scan accounting, updated by every
@@ -187,6 +202,12 @@ func Open(cfg Config) (*Database, error) {
 	if cfg.BlockCacheBytes == 0 {
 		cfg.BlockCacheBytes = 64 << 20
 	}
+	if cfg.PlanCacheEntries == 0 {
+		cfg.PlanCacheEntries = 256
+	}
+	if cfg.ResultCacheBytes == 0 {
+		cfg.ResultCacheBytes = 32 << 20
+	}
 	cl, err := cluster.New(cfg.Cluster)
 	if err != nil {
 		return nil, err
@@ -207,8 +228,9 @@ func Open(cfg Config) (*Database, error) {
 		inj:        cfg.Faults,
 		running:    map[int64]*runningQuery{},
 	}
-	db.stmtTimeout.Store(int64(cfg.StatementTimeout))
-	db.workMem.Store(-1) // defer to the WLM grant until SET work_mem
+	db.planCache = newLRUCache(int64(cfg.PlanCacheEntries))
+	db.resultCache = newLRUCache(cfg.ResultCacheBytes)
+	db.defaultSession = db.NewSession()
 	// Give the planner the cluster's shape and a storage-level row-count
 	// fallback so never-ANALYZEd tables still get cardinality estimates.
 	db.cfg.Plan.NumNodes = cfg.Cluster.Nodes
@@ -236,16 +258,6 @@ func (db *Database) visibleRowCount(tableID int64) int64 {
 		}
 	}
 	return total
-}
-
-// effectiveMemBudget resolves the current per-query memory grant: the
-// SET work_mem override when one is in effect, else the WLM slot grant.
-// 0 means ungoverned.
-func (db *Database) effectiveMemBudget() int64 {
-	if wm := db.workMem.Load(); wm >= 0 {
-		return wm
-	}
-	return db.wlm.Grant()
 }
 
 // spillBase is the directory under which per-query scratch dirs are
@@ -301,94 +313,34 @@ func (db *Database) AdoptCatalog(cat *catalog.Catalog) {
 	db.ddlMu.Lock()
 	defer db.ddlMu.Unlock()
 	db.cat = cat
-	// Whatever was cached belonged to the pre-restore world.
+	// Whatever was cached belonged to the pre-restore world. The plan and
+	// result caches must go too: the adopted catalog restarts its version
+	// counters, so stale entries could otherwise version-match by accident.
 	db.cache.Clear()
+	db.planCache.Clear()
+	db.resultCache.Clear()
 }
 
-// Execute parses and runs one SQL statement with auto-commit.
+// Execute parses and runs one SQL statement with auto-commit, against the
+// database's default session.
 func (db *Database) Execute(query string) (*Result, error) {
-	return db.ExecuteContext(context.Background(), query)
+	return db.defaultSession.Execute(query)
 }
 
 // ExecuteContext parses and runs one SQL statement; ctx cancellation or
 // deadline aborts the statement within one batch boundary.
 func (db *Database) ExecuteContext(ctx context.Context, query string) (*Result, error) {
-	stmt, err := sql.Parse(query)
-	if err != nil {
-		return nil, err
-	}
-	return db.ExecuteStmtContext(ctx, stmt)
+	return db.defaultSession.ExecuteContext(ctx, query)
 }
 
 // ExecuteStmt runs a parsed statement.
 func (db *Database) ExecuteStmt(stmt sql.Statement) (*Result, error) {
-	return db.ExecuteStmtContext(context.Background(), stmt)
+	return db.defaultSession.ExecuteStmt(stmt)
 }
 
 // ExecuteStmtContext runs a parsed statement under ctx.
 func (db *Database) ExecuteStmtContext(ctx context.Context, stmt sql.Statement) (*Result, error) {
-	switch s := stmt.(type) {
-	case *sql.Select:
-		return db.runSelect(ctx, s)
-	case *sql.Explain:
-		return db.runExplain(ctx, s)
-	case *sql.CreateTable:
-		return db.runCreateTable(s)
-	case *sql.DropTable:
-		return db.runDropTable(s)
-	case *sql.Truncate:
-		return db.runTruncate(s)
-	case *sql.Insert:
-		return db.runInsert(ctx, s)
-	case *sql.Copy:
-		return db.runCopy(ctx, s)
-	case *sql.Vacuum:
-		return db.runVacuum(s)
-	case *sql.Analyze:
-		return db.runAnalyze(s)
-	case *sql.Set:
-		return db.runSet(s)
-	case *sql.Cancel:
-		return db.runCancel(s)
-	default:
-		return nil, fmt.Errorf("core: unsupported statement %T", stmt)
-	}
-}
-
-// runSet handles session options. statement_timeout takes milliseconds
-// (Redshift's unit; 0 disables); fault_injection toggles the injector.
-func (db *Database) runSet(s *sql.Set) (*Result, error) {
-	switch s.Name {
-	case "statement_timeout":
-		ms, err := strconv.ParseInt(s.Value, 10, 64)
-		if err != nil || ms < 0 {
-			return nil, fmt.Errorf("core: statement_timeout wants milliseconds >= 0, got %q", s.Value)
-		}
-		db.stmtTimeout.Store(ms * int64(time.Millisecond))
-		return &Result{Message: "SET"}, nil
-	case "work_mem":
-		n, err := sql.ParseByteSize(s.Value)
-		if err != nil {
-			return nil, fmt.Errorf("core: work_mem: %w", err)
-		}
-		db.workMem.Store(n)
-		return &Result{Message: "SET"}, nil
-	case "fault_injection":
-		if db.inj == nil {
-			return nil, fmt.Errorf("core: no fault plan configured")
-		}
-		switch strings.ToLower(s.Value) {
-		case "on", "true", "1":
-			db.inj.SetEnabled(true)
-		case "off", "false", "0":
-			db.inj.SetEnabled(false)
-		default:
-			return nil, fmt.Errorf("core: fault_injection wants on or off, got %q", s.Value)
-		}
-		return &Result{Message: "SET"}, nil
-	default:
-		return nil, fmt.Errorf("core: unknown option %q", s.Name)
-	}
+	return db.defaultSession.ExecuteStmtContext(ctx, stmt)
 }
 
 // runCancel aborts a running query by id (the wire-level CANCEL verb).
@@ -417,9 +369,10 @@ func (db *Database) Cancel(id int64) bool {
 	return true
 }
 
-// StatementTimeout returns the current statement_timeout (0 = disabled).
+// StatementTimeout returns the default session's statement_timeout
+// (0 = disabled).
 func (db *Database) StatementTimeout() time.Duration {
-	return time.Duration(db.stmtTimeout.Load())
+	return db.defaultSession.StatementTimeout()
 }
 
 // Faults exposes the shared fault injector (nil when unconfigured).
@@ -604,6 +557,7 @@ func (db *Database) runTruncate(s *sql.Truncate) (*Result, error) {
 	if err := db.cat.ReplaceStats(def.ID, catalog.TableStats{Cols: make([]catalog.ColumnStats, len(def.Columns))}); err != nil {
 		return nil, err
 	}
+	db.cat.BumpDataVersion(def.ID)
 	return &Result{Message: "TRUNCATE"}, nil
 }
 
@@ -673,6 +627,9 @@ func (db *Database) runInsert(ctx context.Context, s *sql.Insert) (*Result, erro
 	if err := db.txm.Publish(t); err != nil {
 		return nil, err
 	}
+	// Bump after Publish: readers capture versions before snapshotting, so
+	// a result stored under the pre-bump version never includes this write.
+	db.cat.BumpDataVersion(def.ID)
 	return &Result{Message: fmt.Sprintf("INSERT %d", len(rows))}, nil
 }
 
@@ -761,6 +718,7 @@ func (db *Database) runCopy(ctx context.Context, s *sql.Copy) (*Result, error) {
 	if err := db.txm.Publish(t); err != nil {
 		return nil, err
 	}
+	db.cat.BumpDataVersion(def.ID)
 	return &Result{
 		Message: fmt.Sprintf("COPY %d", stats.Rows),
 		Stats:   ExecStats{ExecTime: time.Since(start), RowsScanned: stats.Rows},
@@ -835,7 +793,11 @@ func (db *Database) vacuumTable(def *catalog.TableDef) error {
 		return err
 	}
 	stats.UnsortedRows = 0
-	return db.cat.ReplaceStats(def.ID, stats)
+	if err := db.cat.ReplaceStats(def.ID, stats); err != nil {
+		return err
+	}
+	db.cat.BumpDataVersion(def.ID)
+	return nil
 }
 
 func (db *Database) vacuumSlice(def *catalog.TableDef, sl int, snapshot, xid int64) error {
@@ -983,6 +945,10 @@ func (db *Database) runAnalyze(s *sql.Analyze) (*Result, error) {
 		if err := db.cat.ReplaceStats(def.ID, stats); err != nil {
 			return nil, err
 		}
+		// ANALYZE changes no data but does change the statistics baked into
+		// cached plans, so it moves the data version too; the result cache
+		// takes a harmless spurious miss.
+		db.cat.BumpDataVersion(def.ID)
 	}
 	return &Result{Message: fmt.Sprintf("ANALYZE %d table(s)", len(defs))}, nil
 }
@@ -1037,30 +1003,36 @@ func (db *Database) analyzeCompression(defs []*catalog.TableDef) (*Result, error
 	return res, nil
 }
 
-func (db *Database) runExplain(ctx context.Context, s *sql.Explain) (*Result, error) {
+func (db *Database) runExplain(ctx context.Context, sess *Session, s *sql.Explain) (*Result, error) {
 	sel, ok := s.Stmt.(*sql.Select)
 	if !ok {
 		return nil, fmt.Errorf("core: EXPLAIN supports SELECT only")
 	}
 	if s.Analyze {
-		return db.runExplainAnalyze(ctx, sel)
+		return db.runExplainAnalyze(ctx, sess, sel)
 	}
 	// System tables live in a transient catalog, not db.cat; bind EXPLAIN
-	// against the same catalog the query itself would run against.
-	cat := db.cat
+	// against the same catalog the query itself would run against. User
+	// tables go through the plan cache, same as execution would.
+	var p *plan.Plan
+	var err error
 	if sel.From != nil && isSystemTable(sel.From.Table) {
 		sysCat, _, err := db.sysCatalog()
 		if err != nil {
 			return nil, err
 		}
-		cat = sysCat
-	}
-	p, err := plan.BuildWith(cat, sel, db.cfg.Plan)
-	if err != nil {
-		return nil, err
+		p, err = plan.BuildWith(sysCat, sel, db.cfg.Plan)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		p, _, err = db.planFor(sel, sql.Normalize(sel))
+		if err != nil {
+			return nil, err
+		}
 	}
 	res := &Result{Schema: types.NewSchema(types.Column{Name: "QUERY PLAN", Type: types.String})}
-	text := p.ExplainWithMemory(db.effectiveMemBudget())
+	text := p.ExplainWithMemory(sess.effectiveMemBudget())
 	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
 		res.Rows = append(res.Rows, types.Row{types.NewString(line)})
 	}
@@ -1068,21 +1040,28 @@ func (db *Database) runExplain(ctx context.Context, s *sql.Explain) (*Result, er
 }
 
 // runExplainAnalyze executes the query and renders its span tree with
-// actual times, rows, bytes and block counts.
-func (db *Database) runExplainAnalyze(ctx context.Context, sel *sql.Select) (*Result, error) {
+// actual times, rows, bytes and block counts. A result-cache hit has no
+// span tree — no operator ran — so it renders as the single line
+// production Redshift prints: "cache: result hit".
+func (db *Database) runExplainAnalyze(ctx context.Context, sess *Session, sel *sql.Select) (*Result, error) {
 	if sel.From == nil {
 		return nil, fmt.Errorf("core: EXPLAIN ANALYZE needs a FROM table")
 	}
 	if isSystemTable(sel.From.Table) {
 		return nil, fmt.Errorf("core: EXPLAIN ANALYZE does not cover system tables")
 	}
-	run, trace, err := db.runSelectTraced(ctx, sel)
+	run, trace, err := db.runSelectTraced(ctx, sess, sel)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{
 		Schema: types.NewSchema(types.Column{Name: "QUERY PLAN", Type: types.String}),
 		Stats:  run.Stats,
+		Cached: run.Cached,
+	}
+	if run.Cached {
+		res.Rows = append(res.Rows, types.Row{types.NewString("cache: result hit")})
+		return res, nil
 	}
 	for _, line := range strings.Split(strings.TrimRight(trace.Render(), "\n"), "\n") {
 		res.Rows = append(res.Rows, types.Row{types.NewString(line)})

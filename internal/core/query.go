@@ -26,14 +26,14 @@ const exchangeBuf = 2
 // runSelect executes a SELECT: plan at the leader, per-slice parallel
 // execution with strategy-appropriate data movement, final merge at the
 // leader (§2.1's query processing flow).
-func (db *Database) runSelect(ctx context.Context, s *sql.Select) (*Result, error) {
+func (db *Database) runSelect(ctx context.Context, sess *Session, s *sql.Select) (*Result, error) {
 	if s.From == nil {
 		return db.runLeaderSelect(s)
 	}
 	if isSystemTable(s.From.Table) {
 		return db.runSystemSelect(ctx, s)
 	}
-	res, _, err := db.runSelectTraced(ctx, s)
+	res, _, err := db.runSelectTraced(ctx, sess, s)
 	return res, err
 }
 
@@ -61,17 +61,38 @@ func classifyQueryErr(ctx context.Context, qid int64, err error) (string, error)
 	}
 }
 
-// runSelectTraced executes a data-plane SELECT and returns the result with
-// its span tree. Every run — including failed and cancelled ones — is
-// appended to the query log and counted in the metrics registry.
-func (db *Database) runSelectTraced(ctx context.Context, s *sql.Select) (*Result, *telemetry.Span, error) {
+// runSelectTraced executes a data-plane SELECT through the staged
+// lifecycle — normalize, result-cache lookup, bind/plan (cached), execute,
+// result-cache store — and returns the result with its span tree (nil on a
+// cache hit: nothing executed). Every run — including failed, cancelled
+// and cache-served ones — is appended to the query log and counted in the
+// metrics registry.
+func (db *Database) runSelectTraced(ctx context.Context, sess *Session, s *sql.Select) (*Result, *telemetry.Span, error) {
 	start := time.Now()
-	if d := db.StatementTimeout(); d > 0 {
+	// Stage 2: normalize. Rendering the AST canonicalizes whitespace,
+	// comments, keyword case and redundant parens; the result is the
+	// stl_query text and the key both caches share.
+	norm := sql.Normalize(s)
+
+	// Result-cache lookup runs before the timeout clock, the WLM queue and
+	// the planner: a hit holds no slot, reads no blocks, runs no operator.
+	cacheable := db.resultCacheable(sess, s)
+	if cacheable {
+		if res, ok := db.resultLookup(norm); ok {
+			qid, _, cancel := db.registerQuery(ctx, norm)
+			cancel(nil)
+			db.unregisterQuery(qid)
+			db.recordQuery(qid, norm, start, 0, 0, 0, res, nil, nil, "success", 0, 0)
+			return res, nil, nil
+		}
+	}
+
+	if d := sess.StatementTimeout(); d > 0 {
 		var cancelT context.CancelFunc
 		ctx, cancelT = context.WithTimeout(ctx, d)
 		defer cancelT()
 	}
-	qid, ctx, cancel := db.registerQuery(ctx, s.String())
+	qid, ctx, cancel := db.registerQuery(ctx, norm)
 	defer cancel(nil)
 	defer db.unregisterQuery(qid)
 
@@ -81,20 +102,31 @@ func (db *Database) runSelectTraced(ctx context.Context, s *sql.Select) (*Result
 		// The slot was never acquired: nothing to release.
 		trace.End()
 		state, err := classifyQueryErr(ctx, qid, err)
-		db.recordQuery(qid, s, start, queueWait, 0, 0, nil, trace, err, state, 0, 0)
+		db.recordQuery(qid, norm, start, queueWait, 0, 0, nil, trace, err, state, 0, 0)
 		return nil, trace, err
 	}
 	defer db.wlm.Release()
 
+	// Stage 3: bind/plan, through the shared plan cache.
 	planSpan := trace.StartChild("plan")
 	planStart := time.Now()
-	p, err := plan.BuildWith(db.cat, s, db.cfg.Plan)
+	p, _, err := db.planFor(s, norm)
 	planTime := time.Since(planStart)
 	planSpan.End()
 	if err != nil {
 		trace.End()
-		db.recordQuery(qid, s, start, queueWait, planTime, 0, nil, trace, err, "error", 0, 0)
+		db.recordQuery(qid, norm, start, queueWait, planTime, 0, nil, trace, err, "error", 0, 0)
 		return nil, trace, err
+	}
+
+	// Pin the referenced tables' data versions BEFORE taking the txn
+	// snapshot (writers bump AFTER publishing): anything published after
+	// this point either misses the snapshot too, or bumps a version and
+	// invalidates the entry we are about to store. Either way a future
+	// version-matched hit can never be staler than re-executing.
+	var verKey []tableVersion
+	if cacheable {
+		verKey = db.captureTableVersions(p)
 	}
 
 	// Memory governance: the query's grant comes from work_mem (session
@@ -103,7 +135,7 @@ func (db *Database) runSelectTraced(ctx context.Context, s *sql.Select) (*Result
 	// deferred cleanup runs on EVERY exit — success, error, cancel,
 	// timeout — so scratch files never outlive the query and
 	// exec_mem_bytes returns to zero.
-	grant := db.effectiveMemBudget()
+	grant := sess.effectiveMemBudget()
 	mem := exec.NewMemTracker(grant, db.metrics.Gauge("exec_mem_bytes"))
 	spillDir := exec.NewSpillDir(db.spillBase(), fmt.Sprintf("query-%d", qid))
 	defer func() {
@@ -131,7 +163,7 @@ func (db *Database) runSelectTraced(ctx context.Context, s *sql.Select) (*Result
 	db.metrics.Counter("failover_reads_total").Add(q.scans.FailoverReads.Load())
 	if err != nil {
 		state, err := classifyQueryErr(ctx, qid, err)
-		db.recordQuery(qid, s, start, queueWait, planTime, execTime, nil, trace, err, state, mem.Peak(), spillDir.Bytes())
+		db.recordQuery(qid, norm, start, queueWait, planTime, execTime, nil, trace, err, state, mem.Peak(), spillDir.Bytes())
 		return nil, trace, err
 	}
 	res := &Result{
@@ -149,16 +181,19 @@ func (db *Database) runSelectTraced(ctx context.Context, s *sql.Select) (*Result
 	for i := 0; i < final.N; i++ {
 		res.Rows = append(res.Rows, final.Row(i))
 	}
-	db.recordQuery(qid, s, start, queueWait, planTime, execTime, res, trace, nil, "success", mem.Peak(), spillDir.Bytes())
+	if cacheable {
+		db.resultStore(norm, res, verKey)
+	}
+	db.recordQuery(qid, norm, start, queueWait, planTime, execTime, res, trace, nil, "success", mem.Peak(), spillDir.Bytes())
 	return res, trace, nil
 }
 
 // recordQuery appends one finished SELECT to the query log and emits its
-// counters into the registry.
-func (db *Database) recordQuery(qid int64, s *sql.Select, start time.Time, queueWait, planTime, execTime time.Duration, res *Result, trace *telemetry.Span, runErr error, state string, memPeak, spillBytes int64) {
+// counters into the registry. sqlText is the normalized statement.
+func (db *Database) recordQuery(qid int64, sqlText string, start time.Time, queueWait, planTime, execTime time.Duration, res *Result, trace *telemetry.Span, runErr error, state string, memPeak, spillBytes int64) {
 	rec := telemetry.QueryRecord{
 		ID:         qid,
-		SQL:        s.String(),
+		SQL:        sqlText,
 		Start:      start,
 		End:        time.Now(),
 		QueueWait:  queueWait,
@@ -212,6 +247,20 @@ func (db *Database) recordQuery(qid int64, s *sql.Select, start time.Time, queue
 	m.Gauge("block_cache_evictions").Set(cs.Evictions)
 	m.Gauge("block_cache_bytes").Set(cs.Bytes)
 	m.Gauge("block_cache_budget_bytes").Set(cs.Budget)
+
+	pcs := db.planCache.Stats()
+	m.Gauge("plan_cache_hits").Set(pcs.Hits)
+	m.Gauge("plan_cache_misses").Set(pcs.Misses)
+	m.Gauge("plan_cache_evictions").Set(pcs.Evictions)
+	m.Gauge("plan_cache_invalidations").Set(pcs.Invalidations)
+	m.Gauge("plan_cache_entries").Set(pcs.Entries)
+	rcs := db.resultCache.Stats()
+	m.Gauge("result_cache_hits").Set(rcs.Hits)
+	m.Gauge("result_cache_misses").Set(rcs.Misses)
+	m.Gauge("result_cache_evictions").Set(rcs.Evictions)
+	m.Gauge("result_cache_invalidations").Set(rcs.Invalidations)
+	m.Gauge("result_cache_entries").Set(rcs.Entries)
+	m.Gauge("result_cache_bytes").Set(rcs.Used)
 }
 
 // runLeaderSelect evaluates a FROM-less SELECT entirely at the leader —

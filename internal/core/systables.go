@@ -235,6 +235,52 @@ var systemTables = []systemTable{
 			}}
 		},
 	},
+	{
+		name: "stv_plan_cache",
+		cols: []catalog.ColumnDef{
+			{Name: "hits", Type: types.Int64},
+			{Name: "misses", Type: types.Int64},
+			{Name: "evictions", Type: types.Int64},
+			{Name: "invalidations", Type: types.Int64},
+			{Name: "entries", Type: types.Int64},
+			{Name: "budget_entries", Type: types.Int64},
+		},
+		rows: func(db *Database) []types.Row {
+			cs := db.planCache.Stats()
+			return []types.Row{{
+				types.NewInt(cs.Hits),
+				types.NewInt(cs.Misses),
+				types.NewInt(cs.Evictions),
+				types.NewInt(cs.Invalidations),
+				types.NewInt(cs.Entries),
+				types.NewInt(cs.Budget),
+			}}
+		},
+	},
+	{
+		name: "stv_result_cache",
+		cols: []catalog.ColumnDef{
+			{Name: "hits", Type: types.Int64},
+			{Name: "misses", Type: types.Int64},
+			{Name: "evictions", Type: types.Int64},
+			{Name: "invalidations", Type: types.Int64},
+			{Name: "entries", Type: types.Int64},
+			{Name: "bytes_cached", Type: types.Int64},
+			{Name: "budget_bytes", Type: types.Int64},
+		},
+		rows: func(db *Database) []types.Row {
+			cs := db.resultCache.Stats()
+			return []types.Row{{
+				types.NewInt(cs.Hits),
+				types.NewInt(cs.Misses),
+				types.NewInt(cs.Evictions),
+				types.NewInt(cs.Invalidations),
+				types.NewInt(cs.Entries),
+				types.NewInt(cs.Used),
+				types.NewInt(cs.Budget),
+			}}
+		},
+	},
 }
 
 // isSystemTable reports whether name is a leader-resolved system table.

@@ -305,6 +305,50 @@ func (*Cancel) stmt() {}
 
 func (c *Cancel) String() string { return "CANCEL " + strconv.FormatInt(c.ID, 10) }
 
+// Prepare is PREPARE name AS <statement>: the session parses and names a
+// statement once, so repeated EXECUTEs skip the parse stage entirely (and
+// hit the plan cache through the statement's normalized text).
+type Prepare struct {
+	Name string
+	Stmt Statement
+}
+
+func (*Prepare) stmt() {}
+
+func (p *Prepare) String() string { return "PREPARE " + ident(p.Name) + " AS " + p.Stmt.String() }
+
+// Execute runs a previously prepared statement by name.
+type Execute struct {
+	Name string
+}
+
+func (*Execute) stmt() {}
+
+func (e *Execute) String() string { return "EXECUTE " + ident(e.Name) }
+
+// Deallocate drops one prepared statement, or all of them.
+type Deallocate struct {
+	Name string
+	All  bool
+}
+
+func (*Deallocate) stmt() {}
+
+func (d *Deallocate) String() string {
+	if d.All {
+		return "DEALLOCATE ALL"
+	}
+	return "DEALLOCATE " + ident(d.Name)
+}
+
+// Normalize returns the statement's canonical SQL text: the cache key the
+// staged query lifecycle uses. Rendering the parsed AST canonicalizes
+// whitespace, comments, parenthesization, keyword case and literal
+// spelling, so textual variants of the same statement share one plan-cache
+// and result-cache entry. Identifier case is preserved (two spellings of
+// one table miss each other — correct, merely conservative).
+func Normalize(stmt Statement) string { return stmt.String() }
+
 // Select is a SELECT query.
 type Select struct {
 	Distinct bool
@@ -739,6 +783,21 @@ func (f *FuncCall) String() string {
 func (f *FuncCall) IsAggregate() bool {
 	switch f.Name {
 	case FuncCount, FuncSum, FuncAvg, FuncMin, FuncMax:
+		return true
+	}
+	return false
+}
+
+// Deterministic reports whether the function always returns the same value
+// for the same arguments — the gate for result-cache eligibility. Every
+// built-in today qualifies; names outside the known set (a future RANDOM
+// or GETDATE) are conservatively non-deterministic, so adding one cannot
+// silently poison cached results.
+func (f FuncName) Deterministic() bool {
+	switch f {
+	case FuncCount, FuncSum, FuncAvg, FuncMin, FuncMax,
+		FuncLower, FuncUpper, FuncLength, FuncAbs, FuncCoalesce,
+		FuncDateTrunc, FuncExtractYear, FuncExtractMonth, FuncFloat:
 		return true
 	}
 	return false

@@ -45,12 +45,21 @@ var keywords = map[string]bool{
 	"DATE": true, "TIMESTAMP": true, "APPROXIMATE": true, "COUNT": true,
 	"PRECISION": true, "DOUBLE": true, "CHARACTER": true, "VARYING": true,
 	"CSV": true, "JSON": true, "SET": true, "TO": true, "CANCEL": true,
+	"PREPARE": true, "EXECUTE": true, "DEALLOCATE": true,
 }
 
 // lex tokenizes the input. It returns a descriptive error with a byte
 // position on any malformed token.
 func lex(input string) ([]token, error) {
-	var toks []token
+	return lexInto(nil, input)
+}
+
+// lexInto tokenizes into buf (reusing its capacity), so a pooled parser
+// can amortize the token-slice allocation across statements. buf should be
+// sliced to length 0 by the caller; the (possibly re-grown) slice is
+// returned even on error.
+func lexInto(buf []token, input string) ([]token, error) {
+	toks := buf
 	i, n := 0, len(input)
 	for i < n {
 		c := input[i]
@@ -118,7 +127,7 @@ func lex(input string) ([]token, error) {
 				i++
 			}
 			if !closed {
-				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+				return toks, fmt.Errorf("sql: unterminated string literal at offset %d", start)
 			}
 			toks = append(toks, token{tokString, sb.String(), start})
 		case c == '"': // quoted identifier
@@ -126,7 +135,7 @@ func lex(input string) ([]token, error) {
 			i++
 			j := strings.IndexByte(input[i:], '"')
 			if j < 0 {
-				return nil, fmt.Errorf("sql: unterminated quoted identifier at offset %d", start)
+				return toks, fmt.Errorf("sql: unterminated quoted identifier at offset %d", start)
 			}
 			toks = append(toks, token{tokIdent, input[i : i+j], start})
 			i += j + 1
@@ -145,7 +154,7 @@ func lex(input string) ([]token, error) {
 				toks = append(toks, token{tokSymbol, string(c), start})
 				i++
 			default:
-				return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, start)
+				return toks, fmt.Errorf("sql: unexpected character %q at offset %d", c, start)
 			}
 		next:
 		}

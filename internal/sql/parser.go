@@ -4,18 +4,31 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
 	"redshift/internal/compress"
 	"redshift/internal/types"
 )
 
+// parserPool recycles parser objects — and, through them, their token
+// buffers — across statements (the VictoriaMetrics pooled-yacc-parser
+// trick). The serving path parses every statement of every session, so at
+// thousands of queries per second the per-parse allocations are the
+// dominant leader-node garbage; pooling drops a parse to near-zero
+// steady-state allocations (see BenchmarkParsePooling).
+//
+// N.B.: pooling means Parse must never return anything that aliases the
+// parser or its token buffer. AST nodes copy token text as strings (which
+// share the input's backing array, not the parser's), so they are safe.
+var parserPool = sync.Pool{New: func() any { return new(parser) }}
+
 // Parse parses a single SQL statement. A trailing semicolon is allowed.
 func Parse(input string) (Statement, error) {
-	toks, err := lex(input)
-	if err != nil {
+	p := parserPool.Get().(*parser)
+	defer p.release()
+	if err := p.reset(input); err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks, input: input}
 	stmt, err := p.parseStatement()
 	if err != nil {
 		return nil, err
@@ -30,11 +43,11 @@ func Parse(input string) (Statement, error) {
 // ParseExpr parses a standalone scalar expression (used by tests and the
 // admin tools).
 func ParseExpr(input string) (Expr, error) {
-	toks, err := lex(input)
-	if err != nil {
+	p := parserPool.Get().(*parser)
+	defer p.release()
+	if err := p.reset(input); err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks, input: input}
 	e, err := p.parseExpr()
 	if err != nil {
 		return nil, err
@@ -49,6 +62,25 @@ type parser struct {
 	toks  []token
 	pos   int
 	input string
+}
+
+// reset re-lexes the parser onto a new input, reusing its token buffer.
+func (p *parser) reset(input string) error {
+	toks, err := lexInto(p.toks[:0], input)
+	p.toks, p.pos, p.input = toks, 0, input
+	return err
+}
+
+// release clears input references and returns the parser to the pool. The
+// token buffer's capacity is kept, but its strings (which alias the input)
+// are dropped so a pooled parser never pins a dead query's text.
+func (p *parser) release() {
+	for i := range p.toks {
+		p.toks[i] = token{}
+	}
+	p.toks = p.toks[:0]
+	p.pos, p.input = 0, ""
+	parserPool.Put(p)
 }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
@@ -140,6 +172,39 @@ func (p *parser) parseStatement() (Statement, error) {
 			return nil, p.errorf("expected a value after SET %s, found %q", name.text, t.text)
 		}
 		return &Set{Name: strings.ToLower(name.text), Value: t.text}, nil
+	case p.accept(tokKeyword, "PREPARE"):
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "AS"); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		switch inner.(type) {
+		case *Prepare, *Execute, *Deallocate:
+			return nil, p.errorf("cannot prepare a %T statement", inner)
+		}
+		return &Prepare{Name: name.text, Stmt: inner}, nil
+	case p.accept(tokKeyword, "EXECUTE"):
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		return &Execute{Name: name.text}, nil
+	case p.accept(tokKeyword, "DEALLOCATE"):
+		p.accept(tokKeyword, "PREPARE") // optional noise word, as in Postgres
+		if p.accept(tokKeyword, "ALL") {
+			return &Deallocate{All: true}, nil
+		}
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		return &Deallocate{Name: name.text}, nil
 	case p.accept(tokKeyword, "CANCEL"):
 		t, err := p.expect(tokNumber, "")
 		if err != nil {

@@ -442,3 +442,100 @@ func TestPropertyRandomASTPrintParseFixpoint(t *testing.T) {
 		}
 	}
 }
+
+func TestParsePrepareExecuteDeallocate(t *testing.T) {
+	p := reparse(t, `PREPARE q1 AS SELECT id FROM t WHERE id = 5`).(*Prepare)
+	if p.Name != "q1" {
+		t.Errorf("PREPARE name = %q", p.Name)
+	}
+	if _, ok := p.Stmt.(*Select); !ok {
+		t.Errorf("PREPARE stmt = %T", p.Stmt)
+	}
+	if e := reparse(t, `EXECUTE q1`).(*Execute); e.Name != "q1" {
+		t.Errorf("EXECUTE = %+v", e)
+	}
+	if d := reparse(t, `DEALLOCATE q1`).(*Deallocate); d.Name != "q1" || d.All {
+		t.Errorf("DEALLOCATE = %+v", d)
+	}
+	if d := reparse(t, `DEALLOCATE ALL`).(*Deallocate); !d.All {
+		t.Errorf("DEALLOCATE ALL = %+v", d)
+	}
+	// Postgres-style noise word.
+	if d := reparse(t, `DEALLOCATE PREPARE q1`).(*Deallocate); d.Name != "q1" {
+		t.Errorf("DEALLOCATE PREPARE = %+v", d)
+	}
+	// Preparing admin statements is allowed (EXECUTE routes through the
+	// normal dispatch), but nesting prepared-statement control is not.
+	for _, bad := range []string{
+		`PREPARE a AS PREPARE b AS SELECT 1`,
+		`PREPARE a AS EXECUTE b`,
+		`PREPARE a AS DEALLOCATE b`,
+		`PREPARE AS SELECT 1`,
+		`EXECUTE`,
+		`DEALLOCATE`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestNormalizeCanonicalizesLexicalNoise(t *testing.T) {
+	// Normalization is the cache key for the plan and result caches:
+	// statements that differ only in whitespace, comments, keyword case or
+	// redundant parens must normalize identically.
+	variants := []string{
+		`SELECT a, b FROM t WHERE a = 1 ORDER BY b`,
+		`select a,b from t where a=1 order by b`,
+		"SELECT a, b -- trailing comment\nFROM t\tWHERE (a = 1) ORDER BY b;",
+	}
+	var want string
+	for i, q := range variants {
+		stmt, err := Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		got := Normalize(stmt)
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("Normalize(%q) = %q, want %q", q, got, want)
+		}
+	}
+	// Identifier case is preserved (lookups are case-insensitive but we
+	// stay conservative about rendering).
+	stmt, err := Parse(`SELECT A FROM T`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := Parse(`SELECT a FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Normalize(stmt) == Normalize(other) {
+		t.Errorf("identifier case unexpectedly folded: %q", Normalize(stmt))
+	}
+}
+
+func TestParsePooledReuseIsIsolated(t *testing.T) {
+	// Parse the same inputs repeatedly so pooled parsers are certain to be
+	// reused, and make sure earlier statements' ASTs are unaffected.
+	first, err := Parse(`SELECT a FROM t WHERE a = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := first.String()
+	for i := 0; i < 64; i++ {
+		if _, err := Parse(`SELECT x, y, z FROM u JOIN v ON u.id = v.id WHERE x LIKE 'p%'`); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Parse(`totally bogus (`); err == nil {
+			t.Fatal("bogus statement parsed")
+		}
+	}
+	if first.String() != want {
+		t.Fatalf("AST mutated by later pooled parses: %q != %q", first.String(), want)
+	}
+}

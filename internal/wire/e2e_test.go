@@ -22,7 +22,7 @@ func startRealServer(t *testing.T) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := NewServer(db)
+	srv := NewSessionServer(func() SessionExecutor { return db.NewSession() })
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

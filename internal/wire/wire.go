@@ -5,10 +5,17 @@
 // stand-in for the PostgreSQL wire format the real system speaks so that
 // "customers' existing tools ecosystem would largely work" (§3.1). One
 // request line yields exactly one response line.
+//
+// Each accepted connection is bound to its own session: prepared
+// statements and SET variables live exactly as long as the connection, and
+// a client that disconnects mid-query cancels that query (the reader
+// goroutine notices the broken connection while the statement executes and
+// tears the session's context down, releasing its WLM slot).
 package wire
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -31,6 +38,9 @@ type Response struct {
 	Rows    [][]string `json:"rows,omitempty"`
 	Message string     `json:"message,omitempty"`
 	Error   string     `json:"error,omitempty"`
+	// Cached reports that the result came from the leader's result cache
+	// without executing.
+	Cached bool `json:"cached,omitempty"`
 	// ExecMillis is server-side execution time.
 	ExecMillis float64 `json:"exec_ms"`
 	// Stats carries the engine counters for EXPLAIN ANALYZE-style tools.
@@ -48,15 +58,33 @@ type Stats struct {
 	PlanMillis  float64 `json:"plan_ms"`
 }
 
-// Executor runs SQL — the endpoint abstraction lets the server keep serving
-// across resizes and restores.
+// SessionExecutor is one connection's execution context: statements run
+// under the connection's context (disconnect cancels them) and Close
+// releases per-session state (prepared statements, SET variables).
+// *core.Session implements it.
+type SessionExecutor interface {
+	ExecuteContext(ctx context.Context, query string) (*core.Result, error)
+	Close()
+}
+
+// Executor is the legacy session-less endpoint abstraction; it still backs
+// NewServer so resize/restore endpoints keep working unchanged.
 type Executor interface {
 	Execute(query string) (*core.Result, error)
 }
 
+// legacySession adapts an Executor to the session interface: no
+// per-connection state, no cancellation.
+type legacySession struct{ exec Executor }
+
+func (l legacySession) ExecuteContext(_ context.Context, q string) (*core.Result, error) {
+	return l.exec.Execute(q)
+}
+func (l legacySession) Close() {}
+
 // Server is the leader node's TCP listener.
 type Server struct {
-	exec Executor
+	open func() SessionExecutor
 
 	mu      sync.Mutex
 	ln      net.Listener
@@ -65,9 +93,17 @@ type Server struct {
 	handled int64
 }
 
-// NewServer wraps an executor.
+// NewSessionServer builds a server that opens a fresh session per accepted
+// connection. open is typically Database.NewSession (or Warehouse
+// equivalent) wrapped to return the interface.
+func NewSessionServer(open func() SessionExecutor) *Server {
+	return &Server{open: open, conns: map[net.Conn]struct{}{}}
+}
+
+// NewServer wraps a session-less executor; every connection shares its
+// state. Prefer NewSessionServer for real serving.
 func NewServer(exec Executor) *Server {
-	return &Server{exec: exec, conns: map[net.Conn]struct{}{}}
+	return NewSessionServer(func() SessionExecutor { return legacySession{exec} })
 }
 
 // Listen starts accepting on addr (e.g. "127.0.0.1:5439") and returns the
@@ -102,39 +138,63 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
+// serve runs one connection. The read side lives on its own goroutine so a
+// disconnect is noticed even while a statement executes: the decoder fails
+// the moment the peer goes away, which cancels ctx and aborts the in-flight
+// statement at its next batch boundary.
 func (s *Server) serve(conn net.Conn) {
+	sess := s.open()
+	ctx, cancel := context.WithCancel(context.Background())
 	defer func() {
+		cancel()
 		conn.Close()
+		sess.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	dec := json.NewDecoder(bufio.NewReader(conn))
-	enc := json.NewEncoder(conn)
-	for {
-		var req Request
-		if err := dec.Decode(&req); err != nil {
-			return // EOF or bad framing: drop the session
+
+	reqs := make(chan Request)
+	go func() {
+		defer close(reqs)
+		dec := json.NewDecoder(bufio.NewReader(conn))
+		for {
+			var req Request
+			if err := dec.Decode(&req); err != nil {
+				cancel() // EOF or bad framing: drop the session, abort in-flight work
+				return
+			}
+			select {
+			case reqs <- req:
+			case <-ctx.Done():
+				return
+			}
 		}
-		resp := s.handle(req)
+	}()
+
+	enc := json.NewEncoder(conn)
+	for req := range reqs {
+		resp := s.handle(ctx, sess, req)
 		if err := enc.Encode(resp); err != nil {
+			cancel() // unblocks the reader goroutine
 			return
 		}
 	}
 }
 
-func (s *Server) handle(req Request) *Response {
+func (s *Server) handle(ctx context.Context, sess SessionExecutor, req Request) *Response {
 	s.mu.Lock()
 	s.handled++
 	s.mu.Unlock()
 	start := time.Now()
-	res, err := s.exec.Execute(req.Query)
+	res, err := sess.ExecuteContext(ctx, req.Query)
 	resp := &Response{ExecMillis: float64(time.Since(start).Microseconds()) / 1000}
 	if err != nil {
 		resp.Error = err.Error()
 		return resp
 	}
 	resp.Message = res.Message
+	resp.Cached = res.Cached
 	for _, c := range res.Schema.Columns {
 		resp.Columns = append(resp.Columns, c.Name)
 		resp.Types = append(resp.Types, c.Type.String())
@@ -164,7 +224,9 @@ func (s *Server) Handled() int64 {
 	return s.handled
 }
 
-// Close stops the listener and closes live connections.
+// Close stops the listener and closes live connections (their in-flight
+// statements are cancelled by the per-connection reader noticing the
+// close).
 func (s *Server) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -209,6 +271,24 @@ func (c *Client) Query(query string) (*Response, error) {
 		if err == io.EOF {
 			return nil, fmt.Errorf("wire: server closed the connection")
 		}
+		return nil, fmt.Errorf("wire: receive: %w", err)
+	}
+	return &resp, nil
+}
+
+// Send transmits one statement without waiting for its response; pair with
+// Recv. Useful for tests that disconnect mid-query.
+func (c *Client) Send(query string) error {
+	if err := c.enc.Encode(Request{Query: query}); err != nil {
+		return fmt.Errorf("wire: send: %w", err)
+	}
+	return nil
+}
+
+// Recv waits for the next response.
+func (c *Client) Recv() (*Response, error) {
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
 		return nil, fmt.Errorf("wire: receive: %w", err)
 	}
 	return &resp, nil

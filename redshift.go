@@ -95,10 +95,24 @@ type Options struct {
 	// SpillDir overrides where per-query scratch directories are created
 	// (default: a redshift-spill dir under the OS temp dir).
 	SpillDir string
+	// PlanCacheEntries bounds the leader's plan cache (normalized SQL →
+	// compiled plan, invalidated by DDL and by table-statistics changes).
+	// 0 keeps the default (256 entries), negative disables it.
+	PlanCacheEntries int
+	// ResultCacheBytes budgets the leader's result cache: repeated
+	// read-only queries whose referenced tables are unchanged are answered
+	// from stored results with zero execution. 0 keeps the default
+	// (32 MiB), negative disables it. Sessions opt out with
+	// SET result_cache TO off.
+	ResultCacheBytes int64
 }
 
 // Result is one statement's outcome.
 type Result = core.Result
+
+// Session is one connection's execution context: prepared statements and
+// SET variables are scoped to it.
+type Session = core.Session
 
 // Row is one result tuple.
 type Row = types.Row
@@ -262,6 +276,8 @@ func (w *Warehouse) coreConfig(nodes int) core.Config {
 		StatementTimeout: w.opts.StatementTimeout,
 		WLMSlotMemBytes:  w.opts.WLMSlotMemBytes,
 		SpillDir:         w.opts.SpillDir,
+		PlanCacheEntries: w.opts.PlanCacheEntries,
+		ResultCacheBytes: w.opts.ResultCacheBytes,
 	}
 }
 
@@ -287,6 +303,11 @@ func (w *Warehouse) ExecuteContext(ctx context.Context, query string) (*Result, 
 // Cancel aborts the running query with the given stl_query id, reporting
 // whether such a query was found.
 func (w *Warehouse) Cancel(id int64) bool { return w.endpoint.DB().Cancel(id) }
+
+// NewSession opens a session against the current database. Wire servers
+// bind one session per client connection so prepared statements and SET
+// variables live exactly as long as the connection.
+func (w *Warehouse) NewSession() *Session { return w.endpoint.DB().NewSession() }
 
 // Faults exposes the warehouse's fault injector (nil without a FaultPlan).
 func (w *Warehouse) Faults() *faults.Injector { return w.inj }

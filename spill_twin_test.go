@@ -212,6 +212,9 @@ func TestWorkMemOverridesGrant(t *testing.T) {
 	dir := t.TempDir()
 	w := launch(t, Options{Nodes: 2, SpillDir: dir})
 	seedSpillTables(t, w, seed, 8000, 500)
+	// The governed repeats must actually execute (spilling is the point);
+	// keep the result cache from answering them.
+	w.MustExecute(`SET result_cache TO off`)
 
 	const q = `SELECT ts, SUM(amount) AS total FROM events GROUP BY ts ORDER BY ts`
 	want := rowsString(w.MustExecute(q).Rows)
