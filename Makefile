@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-scan bench-spill bench-plan bench-serve chaos spill
+.PHONY: build test race bench bench-scan bench-spill bench-plan bench-serve bench-parallel chaos spill
 
 build:
 	$(GO) build ./...
@@ -10,10 +10,12 @@ test: build
 
 # Vet plus race-detector runs over the packages with the most concurrency:
 # the distributed cluster, the query engine and its operators, the shared
-# block cache, and the telemetry registry.
+# block cache, and the telemetry registry — plus the root-level morsel
+# worker suites (twin battery, cancel/fault storm, stats parity).
 race:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/cluster ./internal/core ./internal/exec ./internal/storage ./internal/telemetry ./internal/wire
+	SPILL_SEED=$(SPILL_SEED) $(GO) test -race -run TestParallel .
 
 # Short randomized-fault run under the race detector: query battery with
 # injected read errors and latency spikes must match a fault-free twin, a
@@ -58,3 +60,9 @@ bench-plan:
 bench-serve:
 	$(GO) test -bench ServeThroughput -benchtime 1x -run '^$$' ./internal/wire
 	$(GO) test -bench ParsePooling -benchtime 1x -run '^$$' ./internal/sql
+
+# One-iteration intra-slice parallelism benchmarks: CI smoke that the
+# morsel-driven scan and parallel join build stay runnable at dop 1 and 4
+# (BENCH_parallel.json has real runs; speedup needs a multi-core host).
+bench-parallel:
+	$(GO) test -bench 'ParallelScan|ParallelBuild' -benchtime 1x -run '^$$' .

@@ -1,0 +1,104 @@
+// Intra-slice parallelism benchmarks: the same scan-heavy aggregate and
+// join build run serially and with a full complement of morsel workers,
+// on a deliberately slice-starved 1 node × 1 slice layout so the speedup
+// comes entirely from the workers. BENCH_parallel.json records the
+// baseline runs.
+package redshift_test
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"redshift"
+)
+
+// parallelBenchWarehouse is a 1×1 cluster (one slice: the serial engine
+// can use exactly one core) with the decoded-block cache off, so every
+// run pays the full decode and the workers have real work to split.
+func parallelBenchWarehouse(b *testing.B, rows int) *redshift.Warehouse {
+	b.Helper()
+	w, err := redshift.Launch(redshift.Options{Nodes: 1, SlicesPerNode: 1, BlockCacheBytes: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.MustExecute(`CREATE TABLE ptab (id BIGINT, f BIGINT, tag VARCHAR(32))`)
+	var sb strings.Builder
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&sb, "%d|%d|tag-%08d-%08d\n", i, (i*2654435761)%1000000, i, i*7)
+	}
+	if err := w.PutObject("lake/ptab/a.csv", []byte(sb.String())); err != nil {
+		b.Fatal(err)
+	}
+	w.MustExecute(`COPY ptab FROM 's3://lake/ptab/'`)
+	w.MustExecute(`SET result_cache TO off`)
+	return w
+}
+
+// benchDops is the ladder every parallel benchmark climbs: serial, the
+// acceptance point (dop=4), and every core the host has.
+func benchDops() []int {
+	dops := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		dops = append(dops, n)
+	}
+	return dops
+}
+
+// BenchmarkParallelScan: a scan-heavy aggregate (computed predicate, so
+// zone maps cannot prune) at increasing worker counts. The morsel queue
+// splits the single slice's blocks across the workers.
+func BenchmarkParallelScan(b *testing.B) {
+	w := parallelBenchWarehouse(b, 300000)
+	const query = `SELECT COUNT(*), SUM(f), MAX(tag) FROM ptab WHERE f % 7 < 5`
+	for _, dop := range benchDops() {
+		b.Run(fmt.Sprintf("dop%d", dop), func(b *testing.B) {
+			w.MustExecute(fmt.Sprintf(`SET max_parallel_workers TO %d`, dop))
+			w.MustExecute(query) // warm the catalog / plan cache
+			before := w.Metrics().Counter("morsels_dispatched_total").Value()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.MustExecute(query)
+			}
+			b.StopTimer()
+			after := w.Metrics().Counter("morsels_dispatched_total").Value()
+			if dop > 1 && after == before {
+				b.Fatal("parallel path never engaged")
+			}
+			b.ReportMetric(float64(after-before)/float64(b.N), "morsels/op")
+		})
+	}
+}
+
+// BenchmarkParallelBuild: a join whose build side dominates. Both sides
+// share the dist key, so the single slice builds the full 200k-row hash
+// table — serially in one goroutine, or via ParallelBuild's partitioned
+// owner-workers.
+func BenchmarkParallelBuild(b *testing.B) {
+	w := parallelBenchWarehouse(b, 100000)
+	w.MustExecute(`CREATE TABLE pdim (id BIGINT NOT NULL, val VARCHAR(32))
+		DISTSTYLE KEY DISTKEY(id)`)
+	var sb strings.Builder
+	for i := 0; i < 200000; i++ {
+		fmt.Fprintf(&sb, "%d|val-%08d\n", i, i)
+	}
+	if err := w.PutObject("lake/pdim/a.csv", []byte(sb.String())); err != nil {
+		b.Fatal(err)
+	}
+	w.MustExecute(`COPY pdim FROM 's3://lake/pdim/'`)
+
+	const query = `SELECT COUNT(*), SUM(d.id) FROM ptab f JOIN pdim d ON f.id = d.id`
+	for _, dop := range benchDops() {
+		b.Run(fmt.Sprintf("dop%d", dop), func(b *testing.B) {
+			w.MustExecute(fmt.Sprintf(`SET max_parallel_workers TO %d`, dop))
+			w.MustExecute(query)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.MustExecute(query)
+			}
+		})
+	}
+}

@@ -22,8 +22,27 @@ import (
 	"syscall"
 
 	"redshift"
+	"redshift/internal/sql"
 	"redshift/internal/wire"
 )
+
+// byteSizeFlag resolves a human-readable byte-size flag value into the
+// Options convention: "default" (or empty) keeps the built-in default (0),
+// "off" disables the feature (-1), anything else parses through
+// sql.ParseByteSize ("64MB", "1GiB", "65536").
+func byteSizeFlag(name, v string) int64 {
+	switch strings.ToLower(strings.TrimSpace(v)) {
+	case "", "default":
+		return 0
+	case "off", "none", "disabled":
+		return -1
+	}
+	n, err := sql.ParseByteSize(v)
+	if err != nil {
+		log.Fatalf("-%s: %v", name, err)
+	}
+	return n
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:5439", "listen address")
@@ -34,18 +53,22 @@ func main() {
 	encrypted := flag.Bool("encrypted", false, "encrypt all at-rest backup data (§3.2)")
 	slots := flag.Int("slots", 0, "WLM query slots (0 = unlimited)")
 	planCache := flag.Int("plan-cache", 0, "plan cache entries (0 = default 256, negative disables)")
-	resultCache := flag.Int64("result-cache-bytes", 0, "result cache budget (0 = default 32MiB, negative disables)")
+	resultCache := flag.String("result-cache-bytes", "default", `result cache budget, e.g. "64MB" ("default" = 32MiB, "off" disables)`)
+	blockCache := flag.String("block-cache-bytes", "default", `decoded-block buffer cache budget, e.g. "256MB" ("default" = 64MiB, "off" disables)`)
+	maxParallel := flag.Int("max-parallel-workers", 0, "morsel workers per slice per query (0 = all cores, negative forces serial)")
 	metricsAddr := flag.String("metrics", "127.0.0.1:5440", "metrics HTTP address (empty disables)")
 	flag.Parse()
 
 	wh, err := redshift.Launch(redshift.Options{
-		Nodes:            *nodes,
-		SlicesPerNode:    *slices,
-		Interpreted:      *interpreted,
-		Encrypted:        *encrypted,
-		QuerySlots:       *slots,
-		PlanCacheEntries: *planCache,
-		ResultCacheBytes: *resultCache,
+		Nodes:              *nodes,
+		SlicesPerNode:      *slices,
+		Interpreted:        *interpreted,
+		Encrypted:          *encrypted,
+		QuerySlots:         *slots,
+		PlanCacheEntries:   *planCache,
+		ResultCacheBytes:   byteSizeFlag("result-cache-bytes", *resultCache),
+		BlockCacheBytes:    byteSizeFlag("block-cache-bytes", *blockCache),
+		MaxParallelWorkers: *maxParallel,
 	})
 	if err != nil {
 		log.Fatalf("launch: %v", err)

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -75,6 +76,10 @@ type Config struct {
 	// ResultCacheBytes budgets the shared result cache. 0 means the
 	// default (32 MiB); negative disables result caching.
 	ResultCacheBytes int64
+	// MaxParallelWorkers caps the intra-slice morsel parallelism of a
+	// single query. 0 means runtime.GOMAXPROCS(0); negative forces serial
+	// execution (dop=1). SET max_parallel_workers overrides per session.
+	MaxParallelWorkers int
 }
 
 // Database is one warehouse cluster's SQL engine.
@@ -137,6 +142,19 @@ type runningQuery struct {
 	mem   *exec.MemTracker
 	spill *exec.SpillDir
 	grant int64
+
+	// par is the query's live intra-slice parallelism state, attached once
+	// the DOP is chosen (nil before then and for serial-only paths). Read
+	// by stv_exec_workers.
+	par *parallelStats
+}
+
+// parallelStats tracks one query's morsel-driven execution for the
+// stv_exec_workers system table and the parallelism telemetry.
+type parallelStats struct {
+	dop     int
+	workers atomic.Int64 // live morsel worker goroutines
+	morsels atomic.Int64 // morsels dispatched so far
 }
 
 // SetReadOnly toggles write rejection.
@@ -279,6 +297,29 @@ func (db *Database) attachQueryMem(id int64, mem *exec.MemTracker, spill *exec.S
 	db.qmu.Unlock()
 }
 
+// attachQueryExec publishes a query's chosen DOP and live worker counters
+// on its running-query entry so stv_exec_workers can observe it in flight.
+func (db *Database) attachQueryExec(id int64, par *parallelStats) {
+	db.qmu.Lock()
+	if rq := db.running[id]; rq != nil {
+		rq.par = par
+	}
+	db.qmu.Unlock()
+}
+
+// maxParallelWorkers resolves the configured intra-slice DOP cap: 0 means
+// every available core, negative means serial.
+func (db *Database) maxParallelWorkers() int {
+	n := db.cfg.MaxParallelWorkers
+	if n == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
 // BlockCache exposes the decoded-block buffer cache (nil when disabled).
 func (db *Database) BlockCache() *storage.BlockCache { return db.cache }
 
@@ -418,6 +459,29 @@ func (db *Database) queryMemSnapshot() []queryMemRow {
 			spilled = rq.spill.Bytes()
 		}
 		out = append(out, queryMemRow{rq.id, rq.grant, rq.mem.Used(), rq.mem.Peak(), spilled})
+	}
+	return out
+}
+
+// queryExecRow is one stv_exec_workers row.
+type queryExecRow struct {
+	id      int64
+	dop     int64
+	workers int64
+	morsels int64
+}
+
+// queryExecSnapshot copies the in-flight parallelism counters under the
+// registry lock (rq.par is attached under it).
+func (db *Database) queryExecSnapshot() []queryExecRow {
+	db.qmu.Lock()
+	defer db.qmu.Unlock()
+	out := make([]queryExecRow, 0, len(db.running))
+	for _, rq := range db.running {
+		if rq.par == nil {
+			continue
+		}
+		out = append(out, queryExecRow{rq.id, int64(rq.par.dop), rq.par.workers.Load(), rq.par.morsels.Load()})
 	}
 	return out
 }

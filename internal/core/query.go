@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -150,6 +151,8 @@ func (db *Database) runSelectTraced(ctx context.Context, sess *Session, s *sql.S
 		mode:     db.cfg.Mode,
 		snapshot: db.txm.CurrentXid(),
 		scans:    &exec.ScanStats{},
+		qid:      qid,
+		reqDOP:   sess.maxParallel.Load(),
 		trace:    trace,
 		mem:      mem,
 		spillDir: spillDir,
@@ -303,6 +306,10 @@ type queryRun struct {
 	mode     exec.Mode
 	snapshot int64
 	scans    *exec.ScanStats
+	// qid is the stl_query id (0 for system-table queries); reqDOP is the
+	// session's SET max_parallel_workers override (-1 = automatic).
+	qid    int64
+	reqDOP int64
 	// trace is the query's span tree root; nil disables tracing (all span
 	// methods are nil-safe).
 	trace *telemetry.Span
@@ -324,6 +331,15 @@ type queryRun struct {
 	// gatherBytes totals the bytes shipped to the leader (merge span attr).
 	gatherBytes atomic.Int64
 
+	// dop is the chosen intra-slice parallelism; par carries its live
+	// counters (nil when dop==1). chainMu guards the lazily built
+	// nodeMem/nodeSpill/scanInsts state, which parallel slices touch from
+	// their own goroutines (the serial path builds chains on the driving
+	// goroutine and never contends).
+	dop     int
+	par     *parallelStats
+	chainMu sync.Mutex
+
 	// Memory governance (nil for system-table queries, which run
 	// leader-only over already-materialized rows).
 	mem       *exec.MemTracker
@@ -336,12 +352,14 @@ type queryRun struct {
 // memCtx hands an operator instance its memory context: a fresh child of
 // the physical node's tracker (so EXPLAIN ANALYZE gets per-node peaks and
 // each instance's Close releases only its own charges), plus the query
-// scratch dir and the node's spill stats. Only called from the chain
-// building and leader phases, which run on the driving goroutine.
+// scratch dir and the node's spill stats. chainMu makes the lazy per-node
+// map init safe from parallel slice goroutines.
 func (q *queryRun) memCtx(n *plan.PhysNode) *exec.MemContext {
 	if q.mem == nil || n == nil {
 		return nil
 	}
+	q.chainMu.Lock()
+	defer q.chainMu.Unlock()
 	if q.nodeMem == nil {
 		q.nodeMem = map[int]*exec.MemTracker{}
 		q.nodeSpill = map[int]*exec.SpillStats{}
@@ -366,12 +384,24 @@ type scanInstance struct {
 }
 
 // producer is one deferred Exchange.Produce call: src's sub-chain routed
-// into an exchange. Producers launch after every chain is built.
+// into an exchange. Producers launch after every chain is built. When par
+// is set the producer runs morsel-parallel (ParallelProduce) instead of
+// driving a serial operator chain.
 type producer struct {
 	ex    *exec.Exchange
 	src   int
 	op    exec.Operator
 	route exec.RouteFn
+	par   *parallelScanSrc
+}
+
+// parallelScanSrc is a morsel-parallel scan producer: dop scanners
+// sharing one ScanStats pull from a block queue, and the sends are
+// re-sequenced into serial order.
+type parallelScanSrc struct {
+	node     *plan.PhysNode
+	queue    *exec.MorselQueue
+	scanners []*exec.Scanner
 }
 
 // numSlices returns the execution width: every slice for data-plane
@@ -401,16 +431,42 @@ func (q *queryRun) execute(ctx context.Context) (*exec.Batch, error) {
 	q.exBytes = map[int]*atomic.Int64{}
 	m := q.db.metrics
 	q.flight = exec.NewFlightTracker(m.Gauge("exec_batches_in_flight"))
+
+	// Intra-slice parallelism: pick the query's DOP before any producer or
+	// chain is built, and publish it for stv_exec_workers.
+	q.dop = q.chooseDOP()
+	if q.sys == nil {
+		q.par = &parallelStats{dop: q.dop}
+		if q.qid > 0 {
+			q.db.attachQueryExec(q.qid, q.par)
+		}
+	}
+
+	// perSlice accumulates the gather stream; every batch parked here is
+	// counted in flight and released in the deferred cleanup below (the
+	// final output batch is always a fresh leader-side materialization,
+	// never a gathered batch, so releasing all of them is safe).
+	perSlice := make([][]*exec.Batch, nslices)
 	defer func() {
 		// By the time any return runs, every producer and consumer has been
 		// joined (or never launched), so draining the exchange buffers is
 		// safe — it retires the batches an early stop (error, cancel,
 		// timeout) parked in flight, keeping exec_batches_in_flight at zero
-		// between queries.
+		// between queries. The gathered leader-side batches are returned to
+		// the pool the same way.
 		for _, ex := range q.exs {
 			ex.Drain()
 		}
+		for _, bs := range perSlice {
+			for _, b := range bs {
+				q.flight.Dec()
+				exec.PutBatch(b)
+			}
+		}
 		q.foldScanStats()
+		if q.par != nil {
+			m.Counter("morsels_dispatched_total").Add(q.par.morsels.Load())
+		}
 		m.Gauge("exec_batches_in_flight_peak").Set(q.flight.HighWater())
 		q.emitSpans()
 	}()
@@ -438,6 +494,14 @@ func (q *queryRun) execute(ctx context.Context) (*exec.Batch, error) {
 			}
 		}
 		for src := 0; src < nslices; src++ {
+			if q.dop > 1 {
+				ps, err := q.parallelScanSrc(pj.BuildScan, src)
+				if err != nil {
+					return nil, err
+				}
+				q.prods = append(q.prods, producer{ex: ex, src: src, route: route, par: ps})
+				continue
+			}
 			op, err := q.scanOp(pj.BuildScan, src)
 			if err != nil {
 				return nil, err
@@ -451,11 +515,13 @@ func (q *queryRun) execute(ctx context.Context) (*exec.Batch, error) {
 		q.aggGroups = make([]int64, nslices)
 	}
 	chains := make([]exec.Operator, nslices)
-	for sl := 0; sl < nslices; sl++ {
-		var err error
-		chains[sl], err = q.buildChain(sl, nslices)
-		if err != nil {
-			return nil, err
+	if q.dop <= 1 {
+		for sl := 0; sl < nslices; sl++ {
+			var err error
+			chains[sl], err = q.buildChain(sl, nslices)
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -464,11 +530,14 @@ func (q *queryRun) execute(ctx context.Context) (*exec.Batch, error) {
 		prodWG.Add(1)
 		go func(pr producer) {
 			defer prodWG.Done()
-			pr.ex.Produce(ctx, pr.src, pr.op, pr.route)
+			if pr.par != nil {
+				exec.ParallelProduce(ctx, pr.ex, pr.src, pr.par.queue, pr.par.scanners, pr.route, q.stats[pr.par.node.ID], &q.par.morsels)
+			} else {
+				pr.ex.Produce(ctx, pr.src, pr.op, pr.route)
+			}
 		}(pr)
 	}
 
-	perSlice := make([][]*exec.Batch, nslices)
 	errs := make([]error, nslices)
 	var wg sync.WaitGroup
 	for sl := 0; sl < nslices; sl++ {
@@ -478,16 +547,30 @@ func (q *queryRun) execute(ctx context.Context) (*exec.Batch, error) {
 			var sink func(*exec.Batch) error
 			if !q.p.HasAgg {
 				// Collecting a batch at the leader is the gather transfer.
+				// Parked batches are flight-tracked until the deferred
+				// release; empties carry nothing and go straight back to
+				// the pool (the leader phase skips them anyway).
 				node := q.db.cl.Slice(sl).Node.ID
 				sink = func(b *exec.Batch) error {
+					if b.N == 0 {
+						exec.PutBatch(b)
+						return nil
+					}
 					sz := b.ByteSize()
 					q.account(node, -1, sz, cluster.TransferGather)
 					q.gatherBytes.Add(sz)
+					q.flight.Inc()
 					perSlice[sl] = append(perSlice[sl], b)
 					return nil
 				}
 			}
-			if err := driveChain(ctx, chains[sl], sink); err != nil {
+			var err error
+			if q.dop > 1 {
+				err = q.runParallelSlice(ctx, sl, nslices, sink)
+			} else {
+				err = driveChain(ctx, chains[sl], sink)
+			}
+			if err != nil {
 				errs[sl] = err
 				// Unblock every producer and consumer parked on an exchange.
 				q.abortExchanges(err)
@@ -564,19 +647,10 @@ func (q *queryRun) execute(ctx context.Context) (*exec.Batch, error) {
 func (q *queryRun) buildChain(sl, nslices int) (exec.Operator, error) {
 	ph := q.ph
 	spn := q.db.cl.Config().SlicesPerNode
-	base := ph.Base
 
-	var cur exec.Operator
-	var err error
-	if q.sys == nil && base.Scan.Def.DistStyle == catalog.DistAll && sl >= spn {
-		// A replicated base table is duplicated per node; only the first
-		// node's slices scan it (reading every copy would multiply rows).
-		cur = q.wrap(exec.NewBatchSource(nil), base)
-	} else {
-		cur, err = q.scanOp(base, sl)
-		if err != nil {
-			return nil, err
-		}
+	cur, err := q.baseScanOp(sl)
+	if err != nil {
+		return nil, err
 	}
 
 	for ji := range ph.Joins {
@@ -623,7 +697,15 @@ func (q *queryRun) buildChain(sl, nslices int) (exec.Operator, error) {
 		}
 		cur = q.wrap(f, ph.Where)
 	}
+	return q.chainTail(cur, sl)
+}
 
+// chainTail finishes a slice chain past the filter stage: the slice's
+// partial aggregation, or the projection with its optional distinct and
+// top-N pushdowns. Shared by the serial chain builder and the parallel
+// path's spilled-join fallback.
+func (q *queryRun) chainTail(cur exec.Operator, sl int) (exec.Operator, error) {
+	ph := q.ph
 	if q.p.HasAgg {
 		gt, err := exec.NewGroupTable(q.mode, q.p.GroupBy, q.p.Aggs)
 		if err != nil {
@@ -662,7 +744,7 @@ func (q *queryRun) scanOp(n *plan.PhysNode, statSlice int) (exec.Operator, error
 		return q.wrap(op, n), nil
 	}
 	local := &exec.ScanStats{}
-	q.scanInsts[n.ID] = append(q.scanInsts[n.ID], scanInstance{slice: statSlice, stats: local})
+	q.addScanInst(n, statSlice, local)
 	sc, err := exec.NewScanner(q.mode, n.Scan, q.db.cl.FetchBlockCtx, local)
 	if err != nil {
 		return nil, err
@@ -671,6 +753,15 @@ func (q *queryRun) scanOp(n *plan.PhysNode, statSlice int) (exec.Operator, error
 	sc.SetFaults(q.db.inj)
 	segs := q.db.cl.VisibleSegments(statSlice, n.Scan.Def.ID, q.snapshot)
 	return q.wrap(exec.NewScanOp(sc, segs), n), nil
+}
+
+// addScanInst registers one slice's scan instance for post-run stats
+// folding; locked because parallel slices register from their own
+// goroutines.
+func (q *queryRun) addScanInst(n *plan.PhysNode, statSlice int, stats *exec.ScanStats) {
+	q.chainMu.Lock()
+	q.scanInsts[n.ID] = append(q.scanInsts[n.ID], scanInstance{slice: statSlice, stats: stats})
+	q.chainMu.Unlock()
 }
 
 // sysScanOp materializes a system table's rows and applies the pushed-down
@@ -825,6 +916,14 @@ func (q *queryRun) emitSpans() {
 		sp.Add("batches", st.Batches.Load())
 		switch n.Kind {
 		case plan.PhysScan:
+			if n == q.ph.Base && q.sys == nil {
+				sp.Add("dop", int64(q.dop))
+			}
+			// Parallel slices register their instances in completion order;
+			// render in slice order so traces compare across runs.
+			sort.Slice(q.scanInsts[n.ID], func(a, b int) bool {
+				return q.scanInsts[n.ID][a].slice < q.scanInsts[n.ID][b].slice
+			})
 			for _, inst := range q.scanInsts[n.ID] {
 				child := sp.StartChild(fmt.Sprintf("slice %d", inst.slice))
 				child.Add("rows", inst.stats.RowsRead.Load())

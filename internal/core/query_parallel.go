@@ -1,0 +1,596 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"redshift/internal/catalog"
+	"redshift/internal/exec"
+	"redshift/internal/plan"
+)
+
+// DOP policy constants.
+const (
+	// parallelRowsThreshold is the estimated base-scan cardinality below
+	// which a query stays serial: short queries (the serving fast path)
+	// must not pay goroutine fan-out and partial-state merge overhead.
+	// Unknown estimates (-1) also stay serial — parallelism is an
+	// optimization, never a guess.
+	parallelRowsThreshold = 32768
+	// parallelWorkerMinBytes is the minimum share of the query's memory
+	// grant one morsel worker must have before it is worth spinning up:
+	// workers carry their own partial agg/sort state, and slicing a tiny
+	// grant across many workers would just trigger earlier spills.
+	parallelWorkerMinBytes = 64 << 10
+)
+
+// chooseDOP picks the query's intra-slice degree of parallelism from the
+// cost estimates, the configured cap and the memory grant. A session's
+// SET max_parallel_workers override forces the DOP outright (the twin
+// batteries pin it on arbitrarily small tables); DS_DIST_BOTH plans stay
+// serial — their probe-side re-shuffle threads the whole slice chain
+// through an exchange, which has no morsel decomposition.
+func (q *queryRun) chooseDOP() int {
+	if q.sys != nil {
+		return 1
+	}
+	for ji := range q.ph.Joins {
+		if q.ph.Joins[ji].ProbeEx != nil {
+			return 1
+		}
+	}
+	if q.reqDOP >= 1 {
+		return int(q.reqDOP)
+	}
+	max := q.db.maxParallelWorkers()
+	if max <= 1 {
+		return 1
+	}
+	if q.ph.Base.EstRows < parallelRowsThreshold {
+		return 1
+	}
+	dop := max
+	if q.mem != nil {
+		if grant := q.mem.Limit(); grant > 0 {
+			if byMem := int(grant / parallelWorkerMinBytes); byMem < dop {
+				dop = byMem
+			}
+			if dop < 1 {
+				dop = 1
+			}
+		}
+	}
+	return dop
+}
+
+// parallelScanSrc prepares one build-side exchange producer's morsel-
+// parallel scan: dop scanners sharing a single ScanStats (so the folded
+// counters match a serial run) over a shared block queue.
+func (q *queryRun) parallelScanSrc(n *plan.PhysNode, src int) (*parallelScanSrc, error) {
+	local := &exec.ScanStats{}
+	q.addScanInst(n, src, local)
+	ps := &parallelScanSrc{node: n}
+	for w := 0; w < q.dop; w++ {
+		sc, err := exec.NewScanner(q.mode, n.Scan, q.db.cl.FetchBlockCtx, local)
+		if err != nil {
+			return nil, err
+		}
+		sc.SetCache(q.db.cache)
+		sc.SetFaults(q.db.inj)
+		ps.scanners = append(ps.scanners, sc)
+	}
+	ps.queue = exec.NewMorselQueue(q.db.cl.VisibleSegments(src, n.Scan.Def.ID, q.snapshot))
+	return ps, nil
+}
+
+// baseScanOp builds the serial scan operator for the base table on slice
+// sl, honoring the DISTSTYLE ALL single-copy rule.
+func (q *queryRun) baseScanOp(sl int) (exec.Operator, error) {
+	base := q.ph.Base
+	if q.sys == nil && base.Scan.Def.DistStyle == catalog.DistAll && sl >= q.db.cl.Config().SlicesPerNode {
+		// A replicated base table is duplicated per node; only the first
+		// node's slices scan it (reading every copy would multiply rows).
+		return q.wrap(exec.NewBatchSource(nil), base), nil
+	}
+	return q.scanOp(base, sl)
+}
+
+// morselWorkerState is one worker goroutine's private sub-chain state:
+// its own filter/projector (evaluators keep scratch buffers), and exactly
+// one of the partial-state accumulators depending on the query shape.
+type morselWorkerState struct {
+	filter *exec.Filter
+	proj   *exec.Projector
+	agg    *exec.WorkerAgg
+	sieve  *exec.DistinctSieve
+	topn   *exec.TopNPartial
+}
+
+// newMorselWorker builds one worker's private operator state. Partial
+// agg tables and top-N sorters get their own MemContext children, so
+// per-worker charges keep the query-level spill guarantees.
+func (q *queryRun) newMorselWorker() (*morselWorkerState, error) {
+	ph := q.ph
+	ws := &morselWorkerState{}
+	var err error
+	if ph.Where != nil {
+		ws.filter, err = exec.NewFilter(q.mode, q.p.Where)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if q.p.HasAgg {
+		gt, err := exec.NewGroupTable(q.mode, q.p.GroupBy, q.p.Aggs)
+		if err != nil {
+			return nil, err
+		}
+		gt.SetMemory(q.memCtx(ph.PartialAgg))
+		ws.agg = exec.NewWorkerAgg(gt)
+		return ws, nil
+	}
+	ws.proj, err = exec.NewProjector(q.mode, q.p.Project)
+	if err != nil {
+		return nil, err
+	}
+	if ph.Distinct != nil {
+		ws.sieve = exec.NewDistinctSieve()
+	}
+	if ph.TopN != nil {
+		ws.topn = exec.NewTopNPartial(q.p.OrderBy, q.p.Limit, len(q.p.Project), q.memCtx(ph.TopN))
+	}
+	return ws, nil
+}
+
+// release returns a worker's partial-state memory (safe on every path:
+// both releases are idempotent).
+func (ws *morselWorkerState) release() {
+	if ws == nil {
+		return
+	}
+	if ws.agg != nil {
+		ws.agg.Table().ReleaseMem()
+	}
+	if ws.topn != nil {
+		ws.topn.Release()
+	}
+}
+
+// runParallelSlice executes slice sl with q.dop morsel workers instead of
+// one serial fused chain. Three phases:
+//
+//  1. Join builds: each join's build input is collected (exchange receive
+//     or local scan) and inserted morsel-parallel via ParallelBuild. If
+//     any build overflowed its grant, the whole slice falls back to the
+//     serial chain (grace-joins thread probe sequence numbers through the
+//     chain, which has no morsel decomposition) — bit-identical output,
+//     just without the speedup.
+//  2. Morsel loop: workers pull blocks from the shared queue, each running
+//     scan→probe→filter→{partial-agg | project→(distinct-sieve | top-N)}
+//     on its own private state. Per-morsel outputs are parked in dispatch
+//     order, which reproduces the serial batch stream exactly.
+//  3. Slice merge: worker partials fold into the one per-slice result the
+//     leader expects — a merged GroupTable, the distinct survivor stream,
+//     the slice top-N, or the ordered gather stream.
+func (q *queryRun) runParallelSlice(ctx context.Context, sl, nslices int, sink func(*exec.Batch) error) error {
+	ph := q.ph
+	spn := q.db.cl.Config().SlicesPerNode
+	dop := q.dop
+
+	// Phase 1: build every join's hash table.
+	joins := make([]*exec.HashJoin, len(ph.Joins))
+	defer func() {
+		for _, j := range joins {
+			if j != nil {
+				j.ReleaseMem()
+			}
+		}
+	}()
+	for ji := range ph.Joins {
+		pj := &ph.Joins[ji]
+		step := &q.p.Joins[ji]
+		right := q.p.Tables[step.Right]
+		var build exec.Operator
+		var err error
+		switch {
+		case pj.BuildEx != nil:
+			build = q.wrap(exec.NewRecvOp(q.exs[pj.BuildEx.ID], sl), pj.BuildEx)
+		case step.Strategy == plan.StrategyBroadcast && right.Def.DistStyle == catalog.DistAll:
+			// Already replicated: every slice reads its node's local copy.
+			build, err = q.scanOp(pj.BuildScan, (sl/spn)*spn)
+		default: // collocated
+			build, err = q.scanOp(pj.BuildScan, sl)
+		}
+		if err != nil {
+			return err
+		}
+		var input []*exec.Batch
+		if err := driveChain(ctx, build, func(b *exec.Batch) error {
+			// Build-side batches are never released (a broadcast exchange
+			// shares one batch across every consumer slice), matching the
+			// serial HashJoinOp.
+			input = append(input, b)
+			return nil
+		}); err != nil {
+			return err
+		}
+		join, err := exec.NewHashJoin(q.mode, *step, len(right.Def.Columns))
+		if err != nil {
+			return err
+		}
+		join.SetMemory(q.memCtx(pj.Probe))
+		join.SetSizeHint(ph.BuildDemand(ji, nslices))
+		start := time.Now()
+		err = join.ParallelBuild(ctx, input, dop)
+		q.stats[pj.Probe.ID].Nanos.Add(int64(time.Since(start)))
+		if err != nil {
+			return err
+		}
+		joins[ji] = join
+	}
+	for _, j := range joins {
+		if j.Spilled() {
+			return q.runSerialTail(ctx, sl, joins, sink)
+		}
+	}
+
+	// Phase 2: the morsel loop over the base scan.
+	base := ph.Base
+	var queue *exec.MorselQueue
+	scanners := make([]*exec.Scanner, dop)
+	if base.Scan.Def.DistStyle == catalog.DistAll && sl >= spn {
+		// Replicated base table: this slice contributes no rows (see
+		// baseScanOp); an empty queue keeps the tail merge uniform.
+		queue = exec.NewMorselQueue(nil)
+	} else {
+		local := &exec.ScanStats{}
+		q.addScanInst(base, sl, local)
+		for w := 0; w < dop; w++ {
+			sc, err := exec.NewScanner(q.mode, base.Scan, q.db.cl.FetchBlockCtx, local)
+			if err != nil {
+				return err
+			}
+			sc.SetCache(q.db.cache)
+			sc.SetFaults(q.db.inj)
+			scanners[w] = sc
+		}
+		queue = exec.NewMorselQueue(q.db.cl.VisibleSegments(sl, base.Scan.Def.ID, q.snapshot))
+	}
+
+	out := make([]*exec.Batch, queue.Len())
+	defer func() {
+		// Any batch still parked (error, cancel) goes back to the pool;
+		// consumed entries were nil'd as they were handed off.
+		for i, b := range out {
+			if b != nil {
+				exec.PutBatch(b)
+				out[i] = nil
+			}
+		}
+	}()
+
+	states := make([]*morselWorkerState, dop)
+	defer func() {
+		for _, ws := range states {
+			ws.release()
+		}
+	}()
+	for w := 0; w < dop; w++ {
+		ws, err := q.newMorselWorker()
+		if err != nil {
+			return err
+		}
+		states[w] = ws
+	}
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	gauge := q.db.metrics.Gauge("exec_parallel_workers")
+	werrs := make([]error, dop)
+	var wg sync.WaitGroup
+	for w := 0; w < dop; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			gauge.Add(1)
+			q.par.workers.Add(1)
+			defer func() {
+				gauge.Add(-1)
+				q.par.workers.Add(-1)
+			}()
+			werrs[w] = q.morselWorker(wctx, states[w], queue, scanners[w], joins, out)
+			if werrs[w] != nil {
+				cancel()
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Prefer the first real failure over the context.Canceled the other
+	// workers observed after the shared cancel fired.
+	var werr error
+	for _, e := range werrs {
+		if e != nil && !errors.Is(e, context.Canceled) {
+			werr = e
+			break
+		}
+	}
+	if werr == nil {
+		for _, e := range werrs {
+			if e != nil {
+				werr = e
+				break
+			}
+		}
+	}
+	if werr != nil {
+		return werr
+	}
+
+	// Phase 3: fold worker partials into the slice result.
+	switch {
+	case q.p.HasAgg:
+		gt, err := exec.NewGroupTable(q.mode, q.p.GroupBy, q.p.Aggs)
+		if err != nil {
+			return err
+		}
+		gt.SetMemory(q.memCtx(ph.PartialAgg))
+		q.aggTables[sl] = gt
+		workers := make([]*exec.WorkerAgg, dop)
+		for w, ws := range states {
+			workers[w] = ws.agg
+		}
+		start := time.Now()
+		err = exec.MergeWorkerAggs(ctx, gt, workers)
+		q.stats[ph.PartialAgg.ID].Nanos.Add(int64(time.Since(start)))
+		return err
+	case ph.Distinct != nil:
+		// The sieves kept every globally-first occurrence; a final serial
+		// pass in morsel order drops the cross-worker duplicates and
+		// reproduces the exact serial survivor stream (and node counters).
+		op := q.wrap(exec.NewStreamDistinctOp(&drainSource{out: out}), ph.Distinct)
+		return driveChain(ctx, op, sink)
+	case ph.TopN != nil:
+		parts := make([]*exec.Batch, dop)
+		start := time.Now()
+		for w, ws := range states {
+			p, err := ws.topn.Collect(ctx)
+			if err != nil {
+				for _, b := range parts {
+					if b != nil {
+						exec.PutBatch(b)
+					}
+				}
+				return err
+			}
+			parts[w] = p
+		}
+		merged, err := exec.MergeTopNPartials(parts, q.p.OrderBy, q.p.Limit, len(q.p.Project))
+		st := q.stats[ph.TopN.ID]
+		st.Nanos.Add(int64(time.Since(start)))
+		if err != nil {
+			return err
+		}
+		// The serial TopNOp emits exactly one (possibly empty) batch.
+		st.Batches.Add(1)
+		st.Rows.Add(int64(merged.N))
+		if sink != nil {
+			return sink(merged)
+		}
+		exec.PutBatch(merged)
+		return nil
+	default:
+		for i, b := range out {
+			if b == nil {
+				continue
+			}
+			out[i] = nil
+			if b.N == 0 || sink == nil {
+				exec.PutBatch(b)
+				continue
+			}
+			if err := sink(b); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// morselWorker is one worker goroutine's loop: pull a morsel, scan its
+// block, push the batch through this worker's private sub-chain, park the
+// result under the morsel's sequence. Shared OpStats get the same
+// skip-empty counting the serial instrumented chain produces (so
+// EXPLAIN ANALYZE rows= match a serial run exactly); per-stage time is
+// accumulated locally and flushed once to keep the hot loop atomic-free.
+func (q *queryRun) morselWorker(ctx context.Context, ws *morselWorkerState, queue *exec.MorselQueue, sc *exec.Scanner, joins []*exec.HashJoin, out []*exec.Batch) error {
+	ph := q.ph
+	var scanNs, whereNs, projNs, aggNs, distNs, topnNs int64
+	probeNs := make([]int64, len(joins))
+	defer func() {
+		q.stats[ph.Base.ID].Nanos.Add(scanNs)
+		for ji := range joins {
+			q.stats[ph.Joins[ji].Probe.ID].Nanos.Add(probeNs[ji])
+		}
+		if ph.Where != nil {
+			q.stats[ph.Where.ID].Nanos.Add(whereNs)
+		}
+		if ph.PartialAgg != nil {
+			q.stats[ph.PartialAgg.ID].Nanos.Add(aggNs)
+		}
+		if ph.Project != nil && !q.p.HasAgg {
+			q.stats[ph.Project.ID].Nanos.Add(projNs)
+		}
+		if ph.Distinct != nil {
+			q.stats[ph.Distinct.ID].Nanos.Add(distNs)
+		}
+		if ph.TopN != nil {
+			q.stats[ph.TopN.ID].Nanos.Add(topnNs)
+		}
+	}()
+
+morsels:
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		m, ok := queue.Next()
+		if !ok {
+			return nil
+		}
+		q.par.morsels.Add(1)
+		if m.Seg.Schema.Len() != sc.Width() {
+			return fmt.Errorf("exec: segment width %d, scanner width %d", m.Seg.Schema.Len(), sc.Width())
+		}
+		start := time.Now()
+		b, err := sc.ScanBlock(ctx, m.Seg, m.Block)
+		scanNs += int64(time.Since(start))
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			continue // pruned, or no row survived the pushed-down filter
+		}
+		st := q.stats[ph.Base.ID]
+		st.Batches.Add(1)
+		st.Rows.Add(int64(b.N))
+
+		for ji, j := range joins {
+			start = time.Now()
+			joined, err := j.Probe(b)
+			probeNs[ji] += int64(time.Since(start))
+			if err != nil {
+				exec.PutBatch(b)
+				return err
+			}
+			exec.PutBatch(b)
+			if joined.N == 0 {
+				exec.PutBatch(joined)
+				continue morsels
+			}
+			st := q.stats[ph.Joins[ji].Probe.ID]
+			st.Batches.Add(1)
+			st.Rows.Add(int64(joined.N))
+			b = joined
+		}
+
+		if ws.filter != nil {
+			start = time.Now()
+			fb, err := ws.filter.Apply(b)
+			whereNs += int64(time.Since(start))
+			if err != nil {
+				exec.PutBatch(b)
+				return err
+			}
+			if fb != b {
+				exec.PutBatch(b)
+			}
+			if fb.N == 0 {
+				exec.PutBatch(fb)
+				continue
+			}
+			b = fb
+			st := q.stats[ph.Where.ID]
+			st.Batches.Add(1)
+			st.Rows.Add(int64(b.N))
+		}
+
+		if ws.agg != nil {
+			start = time.Now()
+			err := ws.agg.Consume(b, m.Seq)
+			aggNs += int64(time.Since(start))
+			exec.PutBatch(b)
+			if err != nil {
+				return err
+			}
+			continue
+		}
+
+		start = time.Now()
+		pb, err := ws.proj.Apply(b)
+		projNs += int64(time.Since(start))
+		if err != nil {
+			exec.PutBatch(b)
+			return err
+		}
+		exec.PutBatch(b)
+		st = q.stats[ph.Project.ID]
+		st.Batches.Add(1)
+		st.Rows.Add(int64(pb.N))
+
+		switch {
+		case ws.sieve != nil:
+			start = time.Now()
+			sb := ws.sieve.Apply(pb)
+			distNs += int64(time.Since(start))
+			if sb != nil {
+				out[m.Seq] = sb
+			}
+		case ws.topn != nil:
+			start = time.Now()
+			err := ws.topn.Add(pb, m.Seq)
+			topnNs += int64(time.Since(start))
+			if err != nil {
+				return err
+			}
+		default:
+			out[m.Seq] = pb
+		}
+	}
+}
+
+// runSerialTail is the spilled-build fallback: the slice runs the classic
+// fused serial chain, reusing the already-built (and possibly grace-
+// spilled) join tables via empty build children. Output is identical to
+// the morsel path — the grace join replays probe rows in sequence order.
+func (q *queryRun) runSerialTail(ctx context.Context, sl int, joins []*exec.HashJoin, sink func(*exec.Batch) error) error {
+	ph := q.ph
+	cur, err := q.baseScanOp(sl)
+	if err != nil {
+		return err
+	}
+	for ji, j := range joins {
+		cur = q.wrap(exec.NewHashJoinOp(j, exec.NewBatchSource(nil), cur), ph.Joins[ji].Probe)
+	}
+	if ph.Where != nil {
+		f, err := exec.NewFilterOp(q.mode, q.p.Where, cur)
+		if err != nil {
+			return err
+		}
+		cur = q.wrap(f, ph.Where)
+	}
+	tail, err := q.chainTail(cur, sl)
+	if err != nil {
+		return err
+	}
+	return driveChain(ctx, tail, sink)
+}
+
+// drainSource replays morsel-ordered worker outputs as an Operator,
+// removing each batch from the backing slice as it is handed off so the
+// caller's deferred cleanup never double-releases a consumed batch.
+type drainSource struct {
+	out []*exec.Batch
+	i   int
+}
+
+func (s *drainSource) Open(ctx context.Context) error { return nil }
+
+func (s *drainSource) Next(ctx context.Context) (*exec.Batch, error) {
+	for s.i < len(s.out) {
+		b := s.out[s.i]
+		s.out[s.i] = nil
+		s.i++
+		if b == nil {
+			continue
+		}
+		if b.N > 0 {
+			return b, nil
+		}
+		exec.PutBatch(b)
+	}
+	return nil, nil
+}
+
+func (s *drainSource) Close() error { return nil }

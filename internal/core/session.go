@@ -29,6 +29,12 @@ type Session struct {
 	// deferring to the WLM grant.
 	stmtTimeout atomic.Int64
 	workMem     atomic.Int64
+	// maxParallel is the SET max_parallel_workers override: -1 defers to
+	// the automatic DOP policy, n >= 1 forces every data-plane query in
+	// this session to exactly n morsel workers per slice (bypassing the
+	// EstRows threshold and the grant cap — the twin batteries use this to
+	// pin the DOP on arbitrarily small tables).
+	maxParallel atomic.Int64
 	// resultCacheOff is the SET result_cache TO off escape hatch: a session
 	// that turns any result-affecting knob off the beaten path gives up
 	// result-cache hits and stores (but keeps plan-cache reuse, which is
@@ -53,6 +59,7 @@ func (db *Database) NewSession() *Session {
 	s := &Session{db: db, prepared: map[string]*preparedStmt{}}
 	s.stmtTimeout.Store(int64(db.cfg.StatementTimeout))
 	s.workMem.Store(-1)
+	s.maxParallel.Store(-1)
 	return s
 }
 
@@ -226,6 +233,17 @@ func (s *Session) runSet(st *sql.Set) (*Result, error) {
 			return nil, fmt.Errorf("core: work_mem: %w", err)
 		}
 		s.workMem.Store(n)
+		return &Result{Message: "SET"}, nil
+	case "max_parallel_workers":
+		if strings.EqualFold(st.Value, "default") {
+			s.maxParallel.Store(-1)
+			return &Result{Message: "SET"}, nil
+		}
+		n, err := strconv.ParseInt(st.Value, 10, 64)
+		if err != nil || n < 1 || n > 64 {
+			return nil, fmt.Errorf("core: max_parallel_workers wants 1..64 or default, got %q", st.Value)
+		}
+		s.maxParallel.Store(n)
 		return &Result{Message: "SET"}, nil
 	case "result_cache":
 		switch strings.ToLower(st.Value) {

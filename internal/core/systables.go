@@ -111,6 +111,28 @@ var systemTables = []systemTable{
 		},
 	},
 	{
+		name: "stv_exec_workers",
+		cols: []catalog.ColumnDef{
+			{Name: "query", Type: types.Int64},
+			{Name: "dop", Type: types.Int64},
+			{Name: "workers", Type: types.Int64},
+			{Name: "morsels_dispatched", Type: types.Int64},
+		},
+		rows: func(db *Database) []types.Row {
+			snap := db.queryExecSnapshot()
+			rows := make([]types.Row, 0, len(snap))
+			for _, q := range snap {
+				rows = append(rows, types.Row{
+					types.NewInt(q.id),
+					types.NewInt(q.dop),
+					types.NewInt(q.workers),
+					types.NewInt(q.morsels),
+				})
+			}
+			return rows
+		},
+	},
+	{
 		name: "stv_inflight",
 		cols: []catalog.ColumnDef{
 			{Name: "query", Type: types.Int64},

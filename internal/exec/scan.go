@@ -111,6 +111,10 @@ func (s *Scanner) SetFaults(inj *faults.Injector) { s.inj = inj }
 // Stats exposes the scan counters.
 func (s *Scanner) Stats() *ScanStats { return s.stats }
 
+// Width returns the scanned table's column count (morsel workers verify
+// segment compatibility against it, as ScanOp does).
+func (s *Scanner) Width() int { return s.width }
+
 // ScanSegment streams the surviving rows of one segment as table-local
 // batches (nil vectors for unneeded columns).
 func (s *Scanner) ScanSegment(ctx context.Context, seg *storage.Segment, emit func(*Batch) error) error {

@@ -1,0 +1,139 @@
+package redshift
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// statsBattery exercises the counters most at risk of double counting
+// under morsel workers: a pruning filter (blocks_skipped), a join
+// (probe-side rows), and a grand aggregate (partial-agg batches).
+var statsBattery = []string{
+	`SELECT ts, SUM(amount) AS total FROM events WHERE ts >= 2000 GROUP BY ts ORDER BY ts`,
+	`SELECT u.segment, COUNT(*) AS n, SUM(e.amount) AS total
+		FROM events e JOIN users u ON e.user_id = u.id
+		GROUP BY u.segment ORDER BY u.segment`,
+	`SELECT COUNT(*), SUM(amount) FROM events`,
+}
+
+// stableSpanLines reduces an EXPLAIN ANALYZE rendering to its
+// run-invariant fields: span names plus the row/batch/block counters.
+// Durations, memory peaks, cache and dop attributes are stripped — those
+// legitimately differ between serial and parallel runs.
+func stableSpanLines(res *Result) string {
+	var out strings.Builder
+	for _, row := range res.Rows {
+		fields := strings.Fields(strings.TrimLeft(row[0].S, " "))
+		var keep []string
+		for _, f := range fields {
+			if strings.HasPrefix(f, "(") {
+				continue
+			}
+			if i := strings.IndexByte(f, '='); i >= 0 {
+				switch f[:i] {
+				case "rows", "est_rows", "batches", "blocks_read", "blocks_skipped", "groups":
+					keep = append(keep, f)
+				}
+				continue
+			}
+			keep = append(keep, f)
+		}
+		out.WriteString(strings.Join(keep, " "))
+		out.WriteByte('\n')
+	}
+	return out.String()
+}
+
+// sliceStatsSnapshot reads stv_slice_stats into per-slice counter tuples.
+func sliceStatsSnapshot(t *testing.T, w *Warehouse) map[int64][]int64 {
+	t.Helper()
+	res := w.MustExecute(`SELECT slice, scans, blocks_read, blocks_skipped, rows_read, bytes_read
+		FROM stv_slice_stats ORDER BY slice`)
+	snap := make(map[int64][]int64, len(res.Rows))
+	for _, r := range res.Rows {
+		vals := make([]int64, 0, len(r)-1)
+		for _, d := range r[1:] {
+			vals = append(vals, d.I)
+		}
+		snap[r[0].I] = vals
+	}
+	return snap
+}
+
+// sliceStatsDelta runs fn and reports how much each slice's cumulative
+// counters moved, as a comparable string.
+func sliceStatsDelta(t *testing.T, w *Warehouse, fn func()) string {
+	t.Helper()
+	before := sliceStatsSnapshot(t, w)
+	fn()
+	after := sliceStatsSnapshot(t, w)
+	var b strings.Builder
+	for sl := int64(0); sl < int64(len(after)); sl++ {
+		fmt.Fprintf(&b, "slice %d:", sl)
+		for i, v := range after[sl] {
+			fmt.Fprintf(&b, " %d", v-before[sl][i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestParallelStatsMatchSerial is the no-double-counting regression: the
+// same query run serially and at dop=4 must report identical rows=,
+// est_rows=, batches= and block counters in EXPLAIN ANALYZE, identical
+// stl_query scan totals, and identical stv_slice_stats movement — worker
+// fan-out may not inflate (or lose) a single observed row or block.
+func TestParallelStatsMatchSerial(t *testing.T) {
+	seed := spillSeed(t)
+	// No block cache: bytes_read and blocks_read stay run-invariant
+	// instead of shifting between cold and warm executions.
+	w := launch(t, Options{Nodes: 2, BlockCacheBytes: -1})
+	seedSpillTables(t, w, seed, 4000, 1000)
+	w.MustExecute(`ANALYZE events`)
+	w.MustExecute(`ANALYZE users`)
+	w.MustExecute(`SET result_cache TO off`)
+
+	for i, q := range statsBattery {
+		serialSpans := stableSpanLines(w.MustExecute(`EXPLAIN ANALYZE ` + q))
+		serialSlices := sliceStatsDelta(t, w, func() { w.MustExecute(q) })
+		serialRec := lastQueryRecord(t, w)
+
+		w.MustExecute(`SET max_parallel_workers TO 4`)
+		parOut := w.MustExecute(`EXPLAIN ANALYZE ` + q)
+		parSpans := stableSpanLines(parOut)
+		parSlices := sliceStatsDelta(t, w, func() { w.MustExecute(q) })
+		parRec := lastQueryRecord(t, w)
+		w.MustExecute(`SET max_parallel_workers TO default`)
+
+		if !strings.Contains(rowsString(parOut.Rows), "dop=4") {
+			t.Errorf("query %d: parallel EXPLAIN ANALYZE does not surface dop=4:\n%s",
+				i, rowsString(parOut.Rows))
+		}
+		if serialSpans != parSpans {
+			t.Errorf("query %d: EXPLAIN ANALYZE counters diverged between serial and dop=4:\nserial:\n%sparallel:\n%s",
+				i, serialSpans, parSpans)
+		}
+		if serialSlices != parSlices {
+			t.Errorf("query %d: stv_slice_stats moved differently under dop=4:\nserial:\n%sparallel:\n%s",
+				i, serialSlices, parSlices)
+		}
+		if serialRec != parRec {
+			t.Errorf("query %d: stl_query scan totals diverged:\nserial:  %s\nparallel: %s",
+				i, serialRec, parRec)
+		}
+	}
+}
+
+// lastQueryRecord returns the newest stl_query record's run-invariant
+// counters (result rows, blocks read/skipped, shuffle bytes).
+func lastQueryRecord(t *testing.T, w *Warehouse) string {
+	t.Helper()
+	recs := w.DB().QueryLog().Records()
+	if len(recs) == 0 {
+		t.Fatal("no stl_query records")
+	}
+	r := recs[len(recs)-1]
+	return fmt.Sprintf("%s rows=%d blocks_read=%d blocks_skipped=%d net_bytes=%d",
+		r.SQL, r.Rows, r.BlocksRead, r.BlocksSkipped, r.NetBytes)
+}

@@ -1,0 +1,265 @@
+package redshift
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// parallelBattery is the twin suite for morsel-driven execution: the spill
+// battery (joins, high-cardinality aggregation, full sorts, DISTINCT) plus
+// parallel-sensitive extras — a TopN whose sort key has heavy ties (LIMIT
+// cuts mid-tie, so any instability in the per-worker partial sort shows up
+// as different ts values), a selective filter, and a grand aggregate.
+// Every query is fully determined, so serial and parallel runs must match
+// byte for byte.
+var parallelBattery = append(append([]string{}, spillBattery...),
+	`SELECT kind, ts FROM events ORDER BY kind LIMIT 100`,
+	`SELECT user_id, SUM(amount) AS total FROM events WHERE kind = 'buy'
+		GROUP BY user_id ORDER BY user_id`,
+	`SELECT COUNT(*), SUM(amount), MIN(ts), MAX(ts) FROM events WHERE amount >= 5`,
+)
+
+// TestParallelTwinMatchesSerial is the tentpole's headline invariant: the
+// battery run serially and at dop 2 and 4 returns bit-identical rows —
+// morsel workers change where the work happens, never what it computes.
+// Two extra tiers rerun the dop=4 battery under a 64 KiB work_mem (every
+// blocking operator spills mid-parallelism) and under the chaos fault plan
+// (every worker's scan path sees injected errors and latency spikes).
+func TestParallelTwinMatchesSerial(t *testing.T) {
+	seed := spillSeed(t)
+	const nEvents, nUsers = 8000, 2000
+
+	w := launch(t, Options{Nodes: 2})
+	seedSpillTables(t, w, seed, nEvents, nUsers)
+	// The twin repeats must actually execute, not replay cached rows.
+	w.MustExecute(`SET result_cache TO off`)
+
+	want := make([]string, len(parallelBattery))
+	for i, q := range parallelBattery {
+		want[i] = rowsString(w.MustExecute(q).Rows)
+		if want[i] == "" {
+			t.Fatalf("serial reference query %d returned no rows", i)
+		}
+	}
+	// The tables sit far below the auto-DOP row threshold, so the reference
+	// battery must have run serially.
+	if n := w.Metrics().Counter("morsels_dispatched_total").Value(); n != 0 {
+		t.Fatalf("reference battery dispatched %d morsels — auto DOP engaged on a small table", n)
+	}
+
+	for _, dop := range []int{2, 4} {
+		t.Run(fmt.Sprintf("dop%d", dop), func(t *testing.T) {
+			w.MustExecute(fmt.Sprintf(`SET max_parallel_workers TO %d`, dop))
+			before := w.Metrics().Counter("morsels_dispatched_total").Value()
+			for i, q := range parallelBattery {
+				res, err := w.Execute(q)
+				if err != nil {
+					t.Fatalf("seed %d dop %d query %d failed: %v", seed, dop, i, err)
+				}
+				if got := rowsString(res.Rows); got != want[i] {
+					t.Errorf("seed %d dop %d query %d diverged from serial run:\ngot:\n%swant:\n%s",
+						seed, dop, i, got, want[i])
+				}
+			}
+			if after := w.Metrics().Counter("morsels_dispatched_total").Value(); after == before {
+				t.Errorf("dop %d battery dispatched no morsels — the parallel path never engaged", dop)
+			}
+		})
+	}
+
+	// The forced DOP is surfaced on the base-scan span.
+	ex := w.MustExecute(`EXPLAIN ANALYZE ` + parallelBattery[0])
+	if out := rowsString(ex.Rows); !strings.Contains(out, "dop=4") {
+		t.Errorf("EXPLAIN ANALYZE does not surface dop=4:\n%s", out)
+	}
+	if n := w.Metrics().Gauge("exec_parallel_workers").Value(); n != 0 {
+		t.Errorf("exec_parallel_workers = %d after batteries finished, want 0", n)
+	}
+	w.MustExecute(`SET max_parallel_workers TO default`)
+
+	t.Run("workMem64KiB", func(t *testing.T) {
+		dir := t.TempDir()
+		ws := launch(t, Options{Nodes: 2, SpillDir: dir})
+		seedSpillTables(t, ws, seed, nEvents, nUsers)
+		ws.MustExecute(`SET result_cache TO off`)
+		ws.MustExecute(`SET work_mem TO '64KB'`)
+		ws.MustExecute(`SET max_parallel_workers TO 4`)
+		for i, q := range parallelBattery {
+			res, err := ws.Execute(q)
+			if err != nil {
+				t.Fatalf("seed %d spill-tier query %d failed: %v", seed, i, err)
+			}
+			if got := rowsString(res.Rows); got != want[i] {
+				t.Errorf("seed %d spill-tier query %d diverged at dop=4:\ngot:\n%swant:\n%s",
+					seed, i, got, want[i])
+			}
+		}
+		if n := ws.Metrics().Counter("spill_bytes_total").Value(); n == 0 {
+			t.Error("64KB work_mem never spilled under dop=4 — the governed parallel path was not exercised")
+		}
+		assertSpillClean(t, ws, dir)
+	})
+
+	t.Run("chaosFaults", func(t *testing.T) {
+		cseed := chaosSeed(t)
+		wc := launch(t, Options{
+			Nodes: 2,
+			// No decoded-block cache: every morsel re-decodes, so every
+			// round keeps exercising the faulty read paths.
+			BlockCacheBytes: -1,
+			FaultPlan: &FaultPlan{
+				Seed: cseed,
+				Sites: map[string]FaultRule{
+					"storage.read.primary": {Prob: 0.05, Err: "injected disk error"},
+					"cluster.fetch.secondary": {Prob: 0.3, Err: "injected link error",
+						Latency: 200 * time.Microsecond, LatencyProb: 0.2},
+					"s3.backup.get":      {Latency: 300 * time.Microsecond, LatencyProb: 0.3},
+					"exec.exchange.send": {Latency: 100 * time.Microsecond, LatencyProb: 0.1},
+				},
+			},
+		})
+		seedSpillTables(t, wc, seed, nEvents, nUsers)
+		if _, _, err := wc.Backup(); err != nil {
+			t.Fatal(err)
+		}
+		wc.MustExecute(`SET result_cache TO off`)
+		wc.MustExecute(`SET max_parallel_workers TO 4`)
+		const rounds = 2
+		for round := 0; round < rounds; round++ {
+			for i, q := range parallelBattery {
+				res, err := wc.Execute(q)
+				if err != nil {
+					t.Fatalf("seed %d round %d query %d failed under faults at dop=4: %v",
+						cseed, round, i, err)
+				}
+				if got := rowsString(res.Rows); got != want[i] {
+					t.Errorf("seed %d round %d query %d diverged under faults at dop=4:\ngot:\n%swant:\n%s",
+						cseed, round, i, got, want[i])
+				}
+			}
+		}
+		var injected int64
+		for _, s := range wc.Faults().Snapshot() {
+			injected += s.Injected
+		}
+		if injected == 0 {
+			t.Errorf("seed %d: no faults injected — the schedule never fired", cseed)
+		}
+		assertChaosClean(t, wc)
+	})
+}
+
+// TestParallelCancelStorm hammers the morsel workers with concurrent
+// sessions, mid-query cancellations and injected read faults, all under a
+// spill-forcing work_mem. Whatever mix of success and abort comes out, the
+// warehouse must not leak: no tracked memory, no in-flight batches, no
+// live workers, no WLM slots, no scratch directories.
+func TestParallelCancelStorm(t *testing.T) {
+	seed := spillSeed(t)
+	dir := t.TempDir()
+	w := launch(t, Options{
+		Nodes:           2,
+		BlockCacheBytes: -1,
+		SpillDir:        dir,
+		FaultPlan: &FaultPlan{
+			Seed: seed,
+			Sites: map[string]FaultRule{
+				// Errors are masked by failover; latency stretches queries so
+				// cancellations land mid-morsel instead of before the first scan.
+				"storage.read.primary": {Prob: 0.02, Err: "injected disk error",
+					Latency: 200 * time.Microsecond, LatencyProb: 0.5},
+				"cluster.fetch.secondary": {Latency: 200 * time.Microsecond, LatencyProb: 0.5},
+			},
+		},
+	})
+	seedSpillTables(t, w, seed, 4000, 1000)
+
+	queries := []string{
+		parallelBattery[0], // high-cardinality aggregation
+		parallelBattery[1], // join + aggregation
+		parallelBattery[3], // full-table sort
+	}
+	const readers, queriesEach = 4, 8
+	var wg sync.WaitGroup
+	errc := make(chan error, readers*queriesEach)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			s := w.NewSession()
+			defer s.Close()
+			for _, set := range []string{
+				`SET max_parallel_workers TO 4`,
+				`SET result_cache TO off`,
+				`SET work_mem TO '256KB'`,
+			} {
+				if _, err := s.Execute(set); err != nil {
+					errc <- err
+					return
+				}
+			}
+			for i := 0; i < queriesEach; i++ {
+				q := queries[(r+i)%len(queries)]
+				ctx, cancel := context.Background(), context.CancelFunc(func() {})
+				if i%2 == 1 {
+					// Deadlines spread from 1ms to 7ms so cancels land at
+					// every stage: queueing, build, mid-morsel, gather.
+					d := time.Duration(1+(r*queriesEach+i)%7) * time.Millisecond
+					ctx, cancel = context.WithTimeout(ctx, d)
+				}
+				_, err := s.ExecuteContext(ctx, q)
+				cancel()
+				if err != nil {
+					errc <- err
+				}
+			}
+		}(r)
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("parallel cancel storm did not drain in 60s (hang?)")
+	}
+	close(errc)
+
+	var aborted int
+	for err := range errc {
+		msg := err.Error()
+		if strings.Contains(msg, "context deadline exceeded") ||
+			strings.Contains(msg, "context canceled") ||
+			strings.Contains(msg, "cancelled") ||
+			strings.Contains(msg, "statement timeout") {
+			aborted++
+			continue
+		}
+		t.Errorf("unexpected storm error: %v", err)
+	}
+	t.Logf("storm: %d of %d queries aborted", aborted, readers*queriesEach)
+
+	// Clean unwinding: every worker exited, every slot and byte returned.
+	if n := w.Metrics().Gauge("exec_parallel_workers").Value(); n != 0 {
+		t.Errorf("exec_parallel_workers = %d after storm, want 0", n)
+	}
+	if a := w.DB().WLMStats().Active; a != 0 {
+		t.Errorf("wlm active = %d after storm, want 0", a)
+	}
+	assertSpillClean(t, w, dir)
+
+	// The warehouse is still healthy: a fault-free parallel query completes.
+	w.MustExecute(`SET fault_injection TO off`)
+	w.MustExecute(`SET max_parallel_workers TO 4`)
+	w.MustExecute(`SET result_cache TO off`)
+	res := w.MustExecute(`SELECT COUNT(*) FROM events`)
+	if res.Rows[0][0].I != 4000 {
+		t.Errorf("post-storm count = %d, want 4000", res.Rows[0][0].I)
+	}
+}

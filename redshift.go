@@ -105,6 +105,12 @@ type Options struct {
 	// (32 MiB), negative disables it. Sessions opt out with
 	// SET result_cache TO off.
 	ResultCacheBytes int64
+	// MaxParallelWorkers caps a single query's intra-slice morsel
+	// parallelism (workers per slice). 0 means runtime.GOMAXPROCS(0);
+	// negative forces serial execution. Short queries (below the
+	// planner's row threshold) always run serial regardless; sessions
+	// override with SET max_parallel_workers.
+	MaxParallelWorkers int
 }
 
 // Result is one statement's outcome.
@@ -266,18 +272,19 @@ func (w *Warehouse) coreConfig(nodes int) core.Config {
 			BlockCap:      w.opts.BlockCap,
 			CohortSize:    w.opts.CohortSize,
 		},
-		Mode:             mode,
-		Plan:             planOpts,
-		DataStore:        w.dataLake,
-		QuerySlots:       w.opts.QuerySlots,
-		Metrics:          w.metrics,
-		BlockCacheBytes:  w.opts.BlockCacheBytes,
-		Faults:           w.inj,
-		StatementTimeout: w.opts.StatementTimeout,
-		WLMSlotMemBytes:  w.opts.WLMSlotMemBytes,
-		SpillDir:         w.opts.SpillDir,
-		PlanCacheEntries: w.opts.PlanCacheEntries,
-		ResultCacheBytes: w.opts.ResultCacheBytes,
+		Mode:               mode,
+		Plan:               planOpts,
+		DataStore:          w.dataLake,
+		QuerySlots:         w.opts.QuerySlots,
+		Metrics:            w.metrics,
+		BlockCacheBytes:    w.opts.BlockCacheBytes,
+		Faults:             w.inj,
+		StatementTimeout:   w.opts.StatementTimeout,
+		WLMSlotMemBytes:    w.opts.WLMSlotMemBytes,
+		SpillDir:           w.opts.SpillDir,
+		PlanCacheEntries:   w.opts.PlanCacheEntries,
+		ResultCacheBytes:   w.opts.ResultCacheBytes,
+		MaxParallelWorkers: w.opts.MaxParallelWorkers,
 	}
 }
 
