@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-scan bench-spill bench-plan bench-serve bench-parallel chaos spill
+.PHONY: build test race bench bench-scan bench-spill bench-plan bench-serve bench-parallel chaos chaos-resize spill
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,16 @@ race:
 # echoed by the suite on failure; replay with CHAOS_SEED=<seed> make chaos.
 CHAOS_SEED ?= 20260805
 chaos:
-	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -run TestChaos -v .
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -run 'TestChaosFaultMasking|TestChaosAllReplicas|TestChaosTimeout' -v .
+
+# Elasticity chaos battery under the race detector: the fault battery runs
+# DURING a live online resize with concurrent writers (reads bit-identical
+# to a fault-free twin across the endpoint swap, zero lost writes), the
+# resize is killed at every phase and must roll back with the source
+# authoritative, and concurrency-scaling burst routing stays bit-identical
+# under injected route faults. Replay with CHAOS_SEED=<seed> make chaos-resize.
+chaos-resize:
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -run 'TestChaosResize|TestChaosBurst' -v .
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

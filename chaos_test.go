@@ -75,6 +75,11 @@ func assertChaosClean(t *testing.T, w *Warehouse) {
 	if n := w.Metrics().Gauge("exec_batches_in_flight").Value(); n != 0 {
 		t.Errorf("exec_batches_in_flight = %d after chaos run, want 0", n)
 	}
+	if res, err := w.Execute(`SELECT COUNT(*) FROM stv_inflight`); err != nil {
+		t.Errorf("stv_inflight query failed: %v", err)
+	} else if n := res.Rows[0][0].I; n != 0 {
+		t.Errorf("stv_inflight has %d rows after chaos run, want 0", n)
+	}
 }
 
 // TestChaosFaultMaskingMatchesFaultFree is the headline §2.1 claim: with

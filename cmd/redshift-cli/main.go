@@ -9,13 +9,27 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"redshift/internal/faults"
 	"redshift/internal/wire"
 )
+
+// retryPolicy backs off and resends statements the server marks retryable
+// (resize cutover window, WLM admission timeout) — the client-visible half
+// of the elasticity contract: a live resize delays writes, it doesn't fail
+// them.
+var retryPolicy = faults.Policy{
+	MaxAttempts: 5,
+	Base:        50 * time.Millisecond,
+	Max:         time.Second,
+	Jitter:      0.5,
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:5439", "server address")
@@ -70,7 +84,7 @@ func run(client *wire.Client, query string) {
 	if query == "" {
 		return
 	}
-	resp, err := client.Query(query)
+	resp, err := client.QueryRetry(context.Background(), query, retryPolicy)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "connection error: %v\n", err)
 		os.Exit(1)

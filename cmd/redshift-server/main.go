@@ -56,6 +56,8 @@ func main() {
 	resultCache := flag.String("result-cache-bytes", "default", `result cache budget, e.g. "64MB" ("default" = 32MiB, "off" disables)`)
 	blockCache := flag.String("block-cache-bytes", "default", `decoded-block buffer cache budget, e.g. "256MB" ("default" = 64MiB, "off" disables)`)
 	maxParallel := flag.Int("max-parallel-workers", 0, "morsel workers per slice per query (0 = all cores, negative forces serial)")
+	burstThreshold := flag.Float64("burst-threshold", 0, "concurrency-scaling threshold in slot-cost units (0 disables; queue depth × oldest wait s × slot cost)")
+	burstSlotCost := flag.Float64("burst-slot-cost", 0, "price of one query-second of WLM queue wait (default 1)")
 	metricsAddr := flag.String("metrics", "127.0.0.1:5440", "metrics HTTP address (empty disables)")
 	flag.Parse()
 
@@ -69,6 +71,8 @@ func main() {
 		ResultCacheBytes:   byteSizeFlag("result-cache-bytes", *resultCache),
 		BlockCacheBytes:    byteSizeFlag("block-cache-bytes", *blockCache),
 		MaxParallelWorkers: *maxParallel,
+		BurstThreshold:     *burstThreshold,
+		BurstSlotCost:      *burstSlotCost,
 	})
 	if err != nil {
 		log.Fatalf("launch: %v", err)
@@ -82,8 +86,10 @@ func main() {
 
 	// One session per connection: prepared statements and SET variables are
 	// connection-scoped, and a client that disconnects mid-query has that
-	// query cancelled.
-	srv := wire.NewSessionServer(func() wire.SessionExecutor { return wh.NewSession() })
+	// query cancelled. Warehouse wire sessions additionally follow endpoint
+	// swaps (RESIZE keeps existing connections working) and understand the
+	// RESIZE admin verb.
+	srv := wire.NewSessionServer(func() wire.SessionExecutor { return wh.NewWireSession() })
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatalf("listen: %v", err)

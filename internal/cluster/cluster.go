@@ -595,12 +595,14 @@ func (c *Cluster) fetchBlock(ctx context.Context, b *storage.Block) (int64, int,
 	primaryNode := int(b.ID.Slice) / c.cfg.SlicesPerNode
 	retries := 0
 	var tierErrs []error
+	quarantined := false
 	if sec := c.SecondaryNode(primaryNode); sec >= 0 {
 		secNode := c.nodes[sec]
 		switch {
 		case secNode.Failed():
 			tierErrs = append(tierErrs, fmt.Errorf("secondary node %d is down", sec))
 		case c.health.Quarantined(sec):
+			quarantined = true
 			tierErrs = append(tierErrs, fmt.Errorf("secondary node %d is quarantined", sec))
 		default:
 			var payload []byte
@@ -660,7 +662,13 @@ func (c *Cluster) fetchBlock(ctx context.Context, b *storage.Block) (int64, int,
 	} else {
 		tierErrs = append(tierErrs, errors.New("no s3 backup fetcher installed"))
 	}
-	return 0, retries, fmt.Errorf("cluster: block %s: no replica available: %w", b.ID, errors.Join(tierErrs...))
+	err := fmt.Errorf("cluster: block %s: no replica available: %w", b.ID, errors.Join(tierErrs...))
+	if quarantined {
+		// A quarantine clears on its own (cooldown or node recovery), so the
+		// exhausted chain is transient from the client's point of view.
+		err = faults.MarkRetryable(err)
+	}
+	return 0, retries, err
 }
 
 // RecoverNode rebuilds a failed node from secondaries and S3 — the

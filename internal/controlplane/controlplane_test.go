@@ -8,6 +8,7 @@ import (
 
 	"redshift/internal/cluster"
 	"redshift/internal/core"
+	"redshift/internal/faults"
 	"redshift/internal/s3sim"
 	"redshift/internal/sim"
 	"redshift/internal/telemetry"
@@ -270,9 +271,23 @@ func TestRealResizePreservesDataAndReadability(t *testing.T) {
 	if res.Rows[0][0].I != 500 || res.Rows[0][1].I != 0 || res.Rows[0][2].I != 499 {
 		t.Errorf("resized data = %v", res.Rows)
 	}
-	// Source became writable again after the copy.
-	if src.ReadOnly() {
-		t.Error("source stuck in read-only")
+	// The decommissioned source must stay permanently non-writable: a
+	// stale pre-swap handle accepting a write would silently lose it (the
+	// endpoint's cluster never sees it). The regression this guards: the
+	// old workflow re-enabled writes on the source after the swap.
+	if !src.Decommissioned() {
+		t.Error("source not decommissioned after the endpoint moved")
+	}
+	if _, err := src.Execute(`INSERT INTO m VALUES (777, 'stale')`); err == nil {
+		t.Error("decommissioned source accepted a write via a pre-swap handle")
+	} else if faults.Retryable(err) {
+		t.Errorf("decommission rejection must be fatal, not retryable: %v", err)
+	}
+	// Reads through the stale handle keep working (harmless, snapshot of
+	// the old cluster), and the new cluster must not have absorbed the
+	// rejected write.
+	if res, err := dst.Execute(`SELECT COUNT(*) FROM m`); err != nil || res.Rows[0][0].I != 500 {
+		t.Errorf("post-resize count = %v, %v", res.Rows, err)
 	}
 }
 

@@ -1,13 +1,17 @@
 package controlplane
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"redshift/internal/catalog"
 	"redshift/internal/core"
+	"redshift/internal/faults"
 	"redshift/internal/load"
+	"redshift/internal/types"
 )
 
 // Endpoint is the SQL endpoint customers connect to. Resize swaps the
@@ -30,34 +34,113 @@ func (e *Endpoint) DB() *core.Database { return e.db.Load() }
 // Swap atomically moves the endpoint to a new database.
 func (e *Endpoint) Swap(db *core.Database) { e.db.Store(db) }
 
-// ResizeStats reports what a real resize moved.
+// ResizeStats reports what a resize moved and what it cost the client.
 type ResizeStats struct {
 	Tables    int
 	Rows      int64
 	FromNodes int
 	ToNodes   int
+	// CatchupRounds is how many incremental delta copies ran between the
+	// initial snapshot copy and the cutover.
+	CatchupRounds int
+	// CutoverWindow is how long writes saw retryable rejections: from
+	// QuiesceWrites to the endpoint swap.
+	CutoverWindow time.Duration
 }
 
-// ResizeDatabase performs the §3.1 resize on real data: provision a target
-// cluster with the new topology, put the source in read-only mode (reads
-// keep working throughout), copy every table with per-table parallelism,
-// re-distributing rows for the new slice count, then flip the endpoint and
-// leave the source to be decommissioned by the caller.
+// ResizeOptions tunes the online workflow; the zero value is sane.
+type ResizeOptions struct {
+	// MaxCatchupRounds bounds the incremental copy loop before the
+	// workflow gives up chasing the write backlog and cuts over anyway
+	// (the final delta under quiesce is exact regardless). Default 3.
+	MaxCatchupRounds int
+	// Retry wraps each per-table copy so transient faults (injected or
+	// real) don't abort the whole resize. Zero value = faults.DefaultPolicy.
+	Retry faults.Policy
+	// Finalize runs inside the cutover window, after the final delta copy
+	// and before the endpoint swap — the warehouse hooks it to install the
+	// target's S3 read tier and warm it with a fresh backup, so the first
+	// post-swap page fault never lands on a cold backup store. An error
+	// here aborts the cutover and rolls back to the source.
+	Finalize func(dst *core.Database) error
+}
+
+func (o ResizeOptions) withDefaults() ResizeOptions {
+	if o.MaxCatchupRounds <= 0 {
+		o.MaxCatchupRounds = 3
+	}
+	return o
+}
+
+// ResizeDatabase performs the §3.1 resize with the default options; see
+// ResizeOnline.
 func ResizeDatabase(ep *Endpoint, target core.Config) (ResizeStats, error) {
+	return ResizeOnline(ep, target, ResizeOptions{})
+}
+
+// ResizeOnline performs a phased online resize: writes keep flowing during
+// the bulk of the copy and are rejected (retryably) only during the final
+// cutover window.
+//
+//	provision      target cluster with the new topology
+//	schema         recreate every table definition (serial; stable IDs)
+//	snapshot-copy  parallel per-table copy while the source keeps serving
+//	               reads AND writes; each table's data version is recorded
+//	               before its snapshot is read
+//	catch-up       bounded rounds of incremental re-copy for tables whose
+//	               data version moved since they were copied
+//	cutover        quiesce writes (in-flight statements drain, new ones get
+//	               retryable errors), copy the final delta, swap the
+//	               endpoint, decommission the source
+//
+// Any failure rolls back cleanly: the source resumes writes and stays
+// authoritative, the partially-built target is discarded, and the endpoint
+// never observes it. After a successful swap the source stays permanently
+// non-writable (decommissioned) — a stale handle must not accept writes the
+// new cluster will never see.
+func ResizeOnline(ep *Endpoint, target core.Config, opts ResizeOptions) (ResizeStats, error) {
+	opts = opts.withDefaults()
 	src := ep.DB()
+	inj := src.Faults()
+	reg := target.Metrics
+	if reg == nil {
+		reg = src.Telemetry()
+	}
 	var stats ResizeStats
 	stats.FromNodes = src.Cluster().NumNodes()
 	stats.ToNodes = target.Cluster.Nodes
 
+	prog := core.ResizeProgress{
+		Active:    true,
+		FromNodes: stats.FromNodes,
+		ToNodes:   stats.ToNodes,
+		Started:   time.Now(),
+	}
+	publish := func(phase string) {
+		prog.Phase = phase
+		src.SetResizeProgress(prog)
+	}
+	fail := func(phase string, err error) (ResizeStats, error) {
+		// Roll back: the source is authoritative again; the half-built
+		// target is garbage (never visible through the endpoint).
+		src.ResumeWrites()
+		prog.Active = false
+		publish("failed: " + phase)
+		if reg != nil {
+			reg.Counter("resize_failures_total").Inc()
+		}
+		return stats, fmt.Errorf("controlplane: resize %s: %w", phase, err)
+	}
+
+	publish("provision")
 	dst, err := core.Open(target)
 	if err != nil {
-		return stats, err
+		return fail("provision", err)
 	}
-	src.SetReadOnly(true)
-	defer src.SetReadOnly(false)
 
+	publish("schema")
 	defs := src.Catalog().List()
-	// Recreate the schema first (serial — catalog IDs must be stable).
+	prog.TablesTotal = int64(len(defs))
 	for _, def := range defs {
 		cp := &catalog.TableDef{
 			Name:        def.Name,
@@ -68,53 +151,179 @@ func ResizeDatabase(ep *Endpoint, target core.Config) (ResizeStats, error) {
 			SortKeyCols: append([]int(nil), def.SortKeyCols...),
 		}
 		if err := dst.Catalog().Create(cp); err != nil {
-			return stats, err
+			return fail("schema", err)
 		}
 	}
-	// Parallel node-to-node copy, one worker per table.
+
+	// copied tracks, per table, the source data version its last copy was
+	// taken at. A table is stale while the live version differs.
+	copied := make(map[string]int64, len(defs))
+	var copiedMu sync.Mutex
+
+	// copyOne re-copies one table replace-style (idempotent: safe to retry
+	// and safe to run again in a later round), recording the version seen
+	// BEFORE the snapshot read. Writers bump the version only after
+	// publishing, so a racing write is either visible to the snapshot
+	// (harmlessly re-copied later if the version moved) or caught by a
+	// catch-up round — never silently missed.
+	copyOne := func(site, name string) error {
+		return retryCopy(opts.Retry, func() error {
+			if err := inj.Hit(site); err != nil {
+				return err
+			}
+			def, err := src.Catalog().Get(name)
+			if err != nil {
+				return err
+			}
+			ver := src.Catalog().DataVersion(def.ID)
+			rows, err := src.ReadTable(name)
+			if err != nil {
+				return err
+			}
+			if err := replaceTable(dst, name, rows); err != nil {
+				return err
+			}
+			copiedMu.Lock()
+			if _, again := copied[name]; !again {
+				prog.TablesCopied++
+			}
+			copied[name] = ver
+			prog.RowsCopied += int64(len(rows))
+			stats.Rows += int64(len(rows))
+			src.SetResizeProgress(prog)
+			copiedMu.Unlock()
+			return nil
+		})
+	}
+
+	publish("snapshot-copy")
 	var wg sync.WaitGroup
 	errs := make([]error, len(defs))
-	var rowCount atomic.Int64
 	for i, def := range defs {
 		wg.Add(1)
 		go func(i int, name string) {
 			defer wg.Done()
-			rows, err := src.ReadTable(name)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			dstDef, err := dst.Catalog().Get(name)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			t := dst.Txns().Begin()
-			xid, err := dst.Txns().Commit(t)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			if _, err := load.AppendRows(dst.Cluster(), dst.Catalog(), dstDef, rows, load.Options{}, xid); err != nil {
-				errs[i] = err
-				return
-			}
-			rowCount.Add(int64(len(rows)))
+			errs[i] = copyOne(faults.SiteResizeCopy, name)
 		}(i, def.Name)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return stats, fmt.Errorf("controlplane: resize copy: %w", err)
+			return fail("snapshot-copy", err)
 		}
 	}
-	stats.Tables = len(defs)
-	stats.Rows = rowCount.Load()
+
+	// staleTables lists the tables whose source data version moved since
+	// their last copy (writes landed while we copied).
+	staleTables := func() []string {
+		copiedMu.Lock()
+		defer copiedMu.Unlock()
+		var out []string
+		for _, def := range defs {
+			if src.Catalog().DataVersion(def.ID) != copied[def.Name] {
+				out = append(out, def.Name)
+			}
+		}
+		return out
+	}
+
+	publish("catch-up")
+	for round := 0; round < opts.MaxCatchupRounds; round++ {
+		stale := staleTables()
+		if len(stale) == 0 {
+			break
+		}
+		stats.CatchupRounds++
+		prog.CatchupRounds++
+		src.SetResizeProgress(prog)
+		if reg != nil {
+			reg.Counter("resize_catchup_rounds_total").Inc()
+		}
+		for _, name := range stale {
+			if err := copyOne(faults.SiteResizeCatchup, name); err != nil {
+				return fail("catch-up", err)
+			}
+		}
+	}
+
+	// Cutover: freeze the table set, copy the exact final delta, move the
+	// endpoint. From QuiesceWrites to Swap every new write statement fails
+	// with a retryable error — the documented cutover window.
+	publish("cutover")
+	cutStart := time.Now()
+	src.QuiesceWrites()
+	if err := inj.Hit(faults.SiteResizeCutover); err != nil {
+		return fail("cutover", err)
+	}
+	for _, name := range staleTables() {
+		if err := copyOne(faults.SiteResizeCutover, name); err != nil {
+			return fail("cutover", err)
+		}
+	}
+	// The target starts its commit-xid horizon at the source's, so a client
+	// that saw xid N on the source never observes an older snapshot after
+	// the swap.
+	dst.Txns().SetCommitXid(src.Txns().CurrentXid())
+	if opts.Finalize != nil {
+		if err := opts.Finalize(dst); err != nil {
+			return fail("cutover", err)
+		}
+	}
 	ep.Swap(dst)
-	if target.Metrics != nil {
-		target.Metrics.Counter("resize_runs_total").Inc()
-		target.Metrics.Counter("resize_rows_moved_total").Add(stats.Rows)
-		target.Metrics.Counter("resize_tables_moved_total").Add(int64(stats.Tables))
+	src.Decommission()
+	stats.CutoverWindow = time.Since(cutStart)
+
+	stats.Tables = len(defs)
+	prog.Active = false
+	publish("done")
+	dst.SetResizeProgress(prog)
+	if reg != nil {
+		reg.Counter("resize_runs_total").Inc()
+		reg.Counter("resize_rows_moved_total").Add(stats.Rows)
+		reg.Counter("resize_tables_moved_total").Add(int64(stats.Tables))
 	}
 	return stats, nil
+}
+
+// retryCopy runs fn under the policy, treating every error as transient
+// (per-table copies are idempotent replace-style writes).
+func retryCopy(p faults.Policy, fn func() error) error {
+	_, err := p.Do(context.Background(), fn)
+	return err
+}
+
+// replaceTable atomically replaces dst's shard of the named table with
+// rows: supersede every visible segment and append the new copy under one
+// reserved xid, so readers of the target never see a half-replaced table
+// and a failure discards the attempt wholesale (idempotent retries).
+func replaceTable(dst *core.Database, name string, rows []types.Row) error {
+	def, err := dst.Catalog().Get(name)
+	if err != nil {
+		return err
+	}
+	txm := dst.Txns()
+	t := txm.Begin()
+	if err := txm.LockTable(t, def.ID); err != nil {
+		txm.Abort(t)
+		return err
+	}
+	xid, err := txm.Reserve(t)
+	if err != nil {
+		txm.Abort(t)
+		return err
+	}
+	for sl := 0; sl < dst.Cluster().NumSlices(); sl++ {
+		dst.Cluster().ReplaceSegments(sl, def.ID, nil, xid)
+	}
+	if _, err := load.AppendRows(dst.Cluster(), dst.Catalog(), def, rows, load.Options{}, xid); err != nil {
+		dst.Cluster().DiscardXid(def.ID, xid)
+		txm.Abort(t)
+		return err
+	}
+	if err := txm.Publish(t); err != nil {
+		return err
+	}
+	dst.Cluster().PruneDropped(txm.OldestActiveSnapshot())
+	dst.Catalog().BumpDataVersion(def.ID)
+	return nil
 }

@@ -104,9 +104,17 @@ type Database struct {
 	// ddlMu serializes DDL and utility statements.
 	ddlMu sync.Mutex
 
-	// readOnly rejects writes; set by resize while the parallel copy runs
-	// ("we ... put the original cluster in read-only mode", §3.1).
-	readOnly atomic.Bool
+	// writeState rejects writes (see elasticity.go): writable, read-only
+	// during a resize cutover (retryable rejection), or decommissioned after
+	// the endpoint moved (fatal rejection). writeGate drains in-flight write
+	// statements when QuiesceWrites opens the cutover window.
+	writeState atomic.Int32
+	writeGate  sync.RWMutex
+
+	// resizeProgress and burstInfo back stv_resize / stv_burst_clusters;
+	// both are published by the control plane (see elasticity.go).
+	resizeProgress atomic.Pointer[ResizeProgress]
+	burstInfo      atomic.Pointer[func() []BurstClusterInfo]
 
 	// inj is the shared fault injector (nil-receiver safe, may be nil).
 	inj *faults.Injector
@@ -155,20 +163,6 @@ type parallelStats struct {
 	dop     int
 	workers atomic.Int64 // live morsel worker goroutines
 	morsels atomic.Int64 // morsels dispatched so far
-}
-
-// SetReadOnly toggles write rejection.
-func (db *Database) SetReadOnly(ro bool) { db.readOnly.Store(ro) }
-
-// ReadOnly reports whether writes are rejected.
-func (db *Database) ReadOnly() bool { return db.readOnly.Load() }
-
-// errIfReadOnly guards write statements.
-func (db *Database) errIfReadOnly() error {
-	if db.ReadOnly() {
-		return fmt.Errorf("core: cluster is in read-only mode (resize in progress)")
-	}
-	return nil
 }
 
 // ExecStats reports what one statement cost.
@@ -498,9 +492,11 @@ func (db *Database) runningQueries() []*runningQuery {
 }
 
 func (db *Database) runCreateTable(s *sql.CreateTable) (*Result, error) {
-	if err := db.errIfReadOnly(); err != nil {
+	endWrite, err := db.beginWrite()
+	if err != nil {
 		return nil, err
 	}
+	defer endWrite()
 	db.ddlMu.Lock()
 	defer db.ddlMu.Unlock()
 	if s.IfNotExists {
@@ -571,9 +567,11 @@ func (db *Database) runCreateTable(s *sql.CreateTable) (*Result, error) {
 }
 
 func (db *Database) runDropTable(s *sql.DropTable) (*Result, error) {
-	if err := db.errIfReadOnly(); err != nil {
+	endWrite, err := db.beginWrite()
+	if err != nil {
 		return nil, err
 	}
+	defer endWrite()
 	db.ddlMu.Lock()
 	defer db.ddlMu.Unlock()
 	def, err := db.cat.Get(s.Name)
@@ -592,9 +590,11 @@ func (db *Database) runDropTable(s *sql.DropTable) (*Result, error) {
 }
 
 func (db *Database) runTruncate(s *sql.Truncate) (*Result, error) {
-	if err := db.errIfReadOnly(); err != nil {
+	endWrite, err := db.beginWrite()
+	if err != nil {
 		return nil, err
 	}
+	defer endWrite()
 	db.ddlMu.Lock()
 	defer db.ddlMu.Unlock()
 	def, err := db.cat.Get(s.Table)
@@ -626,9 +626,11 @@ func (db *Database) runTruncate(s *sql.Truncate) (*Result, error) {
 }
 
 func (db *Database) runInsert(ctx context.Context, s *sql.Insert) (*Result, error) {
-	if err := db.errIfReadOnly(); err != nil {
+	endWrite, err := db.beginWrite()
+	if err != nil {
 		return nil, err
 	}
+	defer endWrite()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -742,9 +744,11 @@ func coerceInsertValue(v types.Value, t types.Type) (types.Value, error) {
 }
 
 func (db *Database) runCopy(ctx context.Context, s *sql.Copy) (*Result, error) {
-	if err := db.errIfReadOnly(); err != nil {
+	endWrite, err := db.beginWrite()
+	if err != nil {
 		return nil, err
 	}
+	defer endWrite()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -790,9 +794,11 @@ func (db *Database) runCopy(ctx context.Context, s *sql.Copy) (*Result, error) {
 }
 
 func (db *Database) runVacuum(s *sql.Vacuum) (*Result, error) {
-	if err := db.errIfReadOnly(); err != nil {
+	endWrite, err := db.beginWrite()
+	if err != nil {
 		return nil, err
 	}
+	defer endWrite()
 	db.ddlMu.Lock()
 	defer db.ddlMu.Unlock()
 	var defs []*catalog.TableDef

@@ -67,6 +67,21 @@ func (c *lruCache) Get(key string) (any, bool) {
 	return el.Value.(*lruEntry).val, true
 }
 
+// Peek returns the entry under key without promoting it or counting a
+// hit/miss — a side-effect-free probe for routing decisions.
+func (c *lruCache) Peek(key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*lruEntry).val, true
+}
+
 // Put inserts or replaces the entry under key, evicting from the LRU tail
 // until the budget holds. An entry costing more than the whole budget is
 // silently not cached.

@@ -13,6 +13,7 @@ import (
 	"redshift/internal/catalog"
 	"redshift/internal/cluster"
 	"redshift/internal/exec"
+	"redshift/internal/faults"
 	"redshift/internal/plan"
 	"redshift/internal/sql"
 	"redshift/internal/telemetry"
@@ -103,6 +104,12 @@ func (db *Database) runSelectTraced(ctx context.Context, sess *Session, s *sql.S
 		// The slot was never acquired: nothing to release.
 		trace.End()
 		state, err := classifyQueryErr(ctx, qid, err)
+		if state == "timeout" {
+			// The query never started executing, so resending it is always
+			// safe — unlike a mid-execution statement timeout, an admission
+			// timeout is retryable.
+			err = faults.MarkRetryable(err)
+		}
 		db.recordQuery(qid, norm, start, queueWait, 0, 0, nil, trace, err, state, 0, 0)
 		return nil, trace, err
 	}

@@ -303,6 +303,65 @@ var systemTables = []systemTable{
 			}}
 		},
 	},
+	{
+		name: "stv_resize",
+		cols: []catalog.ColumnDef{
+			{Name: "active", Type: types.Int64},
+			{Name: "phase", Type: types.String},
+			{Name: "from_nodes", Type: types.Int64},
+			{Name: "to_nodes", Type: types.Int64},
+			{Name: "tables_total", Type: types.Int64},
+			{Name: "tables_copied", Type: types.Int64},
+			{Name: "rows_copied", Type: types.Int64},
+			{Name: "catchup_rounds", Type: types.Int64},
+		},
+		rows: func(db *Database) []types.Row {
+			p := db.ResizeProgress()
+			if p.Phase == "" {
+				return nil
+			}
+			active := int64(0)
+			if p.Active {
+				active = 1
+			}
+			return []types.Row{{
+				types.NewInt(active),
+				types.NewString(p.Phase),
+				types.NewInt(int64(p.FromNodes)),
+				types.NewInt(int64(p.ToNodes)),
+				types.NewInt(p.TablesTotal),
+				types.NewInt(p.TablesCopied),
+				types.NewInt(p.RowsCopied),
+				types.NewInt(p.CatchupRounds),
+			}}
+		},
+	},
+	{
+		name: "stv_burst_clusters",
+		cols: []catalog.ColumnDef{
+			{Name: "burst_cluster", Type: types.Int64},
+			{Name: "state", Type: types.String},
+			{Name: "backup_id", Type: types.String},
+			{Name: "snapshot_xid", Type: types.Int64},
+			{Name: "routed_queries", Type: types.Int64},
+			{Name: "fallbacks", Type: types.Int64},
+		},
+		rows: func(db *Database) []types.Row {
+			infos := db.burstInfoRows()
+			rows := make([]types.Row, 0, len(infos))
+			for _, b := range infos {
+				rows = append(rows, types.Row{
+					types.NewInt(b.ID),
+					types.NewString(b.State),
+					types.NewString(b.BackupID),
+					types.NewInt(b.SnapshotXid),
+					types.NewInt(b.RoutedQueries),
+					types.NewInt(b.Fallbacks),
+				})
+			}
+			return rows
+		},
+	},
 }
 
 // isSystemTable reports whether name is a leader-resolved system table.

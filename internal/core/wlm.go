@@ -26,6 +26,11 @@ type WLM struct {
 	peakQueued int
 	totalRun   int64
 	totalWait  time.Duration
+	// waiters tracks each queued query's arrival time (keyed by a local
+	// token) so QueuePressure can report the longest current wait — the
+	// concurrency-scaling policy's signal.
+	waiters    map[int64]time.Time
+	nextWaiter int64
 
 	// Registry mirrors of the counters above (pre-resolved at construction).
 	mActive  *telemetry.Gauge
@@ -39,7 +44,7 @@ type WLM struct {
 // manager emits wlm_active / wlm_queued gauges, a wlm_queue_wait_seconds
 // histogram and a wlm_queries_total counter into it.
 func NewWLM(n int, memPool int64, reg *telemetry.Registry) *WLM {
-	w := &WLM{memPool: memPool}
+	w := &WLM{memPool: memPool, waiters: map[int64]time.Time{}}
 	if n > 0 {
 		w.slots = make(chan struct{}, n)
 	}
@@ -83,22 +88,26 @@ func (w *WLM) AcquireCtx(ctx context.Context) (time.Duration, error) {
 		w.mu.Unlock()
 		return 0, nil
 	}
+	start := time.Now()
 	w.mu.Lock()
 	w.queued++
 	if w.queued > w.peakQueued {
 		w.peakQueued = w.queued
 	}
+	w.nextWaiter++
+	token := w.nextWaiter
+	w.waiters[token] = start
 	if w.mQueued != nil {
 		w.mQueued.Set(int64(w.queued))
 	}
 	w.mu.Unlock()
 
-	start := time.Now()
 	select {
 	case w.slots <- struct{}{}:
 	case <-ctx.Done():
 		w.mu.Lock()
 		w.queued--
+		delete(w.waiters, token)
 		if w.mQueued != nil {
 			w.mQueued.Set(int64(w.queued))
 		}
@@ -109,6 +118,7 @@ func (w *WLM) AcquireCtx(ctx context.Context) (time.Duration, error) {
 
 	w.mu.Lock()
 	w.queued--
+	delete(w.waiters, token)
 	w.totalWait += wait
 	if w.mQueued != nil {
 		w.mQueued.Set(int64(w.queued))
@@ -146,6 +156,25 @@ func (w *WLM) Release() {
 	if w.slots != nil {
 		<-w.slots
 	}
+}
+
+// QueuePressure reports the current queue depth and how long the
+// longest-waiting queued query has been waiting. The concurrency-scaling
+// policy prices this wait (depth × wait × slot cost) against the cost of
+// hydrating a burst cluster.
+func (w *WLM) QueuePressure() (depth int, oldestWait time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var oldest time.Time
+	for _, t := range w.waiters {
+		if oldest.IsZero() || t.Before(oldest) {
+			oldest = t
+		}
+	}
+	if !oldest.IsZero() {
+		oldestWait = time.Since(oldest)
+	}
+	return w.queued, oldestWait
 }
 
 // WLMStats is a snapshot of the manager's counters.

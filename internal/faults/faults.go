@@ -46,6 +46,21 @@ const (
 	// SiteBackupGet / SiteBackupPut fire inside the backup-region store.
 	SiteBackupGet = "s3.backup.get"
 	SiteBackupPut = "s3.backup.put"
+	// SiteResizeCopy fires once per table on an online resize's snapshot
+	// copy (writes still flowing on the source).
+	SiteResizeCopy = "controlplane.resize.copy"
+	// SiteResizeCatchup fires on each catch-up re-copy of a table whose
+	// data version moved during the snapshot phase.
+	SiteResizeCatchup = "controlplane.resize.catchup"
+	// SiteResizeCutover fires on the final quiesced delta copy, inside the
+	// write-rejection window.
+	SiteResizeCutover = "controlplane.resize.cutover"
+	// SiteBurstHydrate fires on each page-fault backup GET that hydrates a
+	// concurrency-scaling burst cluster.
+	SiteBurstHydrate = "burst.hydrate"
+	// SiteBurstRoute fires when the endpoint routes a read query to a
+	// burst cluster (an injected error falls the query back to the primary).
+	SiteBurstRoute = "burst.route"
 )
 
 // Rule schedules one site's behavior.

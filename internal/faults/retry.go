@@ -67,6 +67,32 @@ func IsPermanent(err error) bool {
 	return errors.As(err, &pe)
 }
 
+// retryableError marks a transient engine condition: the statement failed
+// now but an identical resend is expected to succeed once the condition
+// clears (a resize cutover window, a quarantined node waking up, a WLM
+// queue draining).
+type retryableError struct{ err error }
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
+// MarkRetryable classifies err as transient for the client-facing error
+// taxonomy: the wire layer surfaces it as Response.Retryable and clients
+// back off and resend. A nil err stays nil.
+func MarkRetryable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &retryableError{err: err}
+}
+
+// Retryable reports whether err (anywhere in its chain) was classified as
+// transient by MarkRetryable.
+func Retryable(err error) bool {
+	var re *retryableError
+	return errors.As(err, &re)
+}
+
 // Do runs fn up to p.MaxAttempts times, sleeping a jittered exponential
 // backoff between failures. It returns the number of attempts made and
 // the last error (unwrapped from Permanent). ctx cancellation ends the

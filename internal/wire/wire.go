@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"redshift/internal/core"
+	"redshift/internal/faults"
 )
 
 // Request is one statement from the client.
@@ -38,6 +39,11 @@ type Response struct {
 	Rows    [][]string `json:"rows,omitempty"`
 	Message string     `json:"message,omitempty"`
 	Error   string     `json:"error,omitempty"`
+	// Retryable classifies Error per the elasticity taxonomy: true means
+	// the statement failed transiently (resize cutover window, quarantined
+	// replicas exhausted, WLM admission timeout) and resending the same
+	// statement after a backoff is safe and expected to succeed.
+	Retryable bool `json:"retryable,omitempty"`
 	// Cached reports that the result came from the leader's result cache
 	// without executing.
 	Cached bool `json:"cached,omitempty"`
@@ -191,6 +197,7 @@ func (s *Server) handle(ctx context.Context, sess SessionExecutor, req Request) 
 	resp := &Response{ExecMillis: float64(time.Since(start).Microseconds()) / 1000}
 	if err != nil {
 		resp.Error = err.Error()
+		resp.Retryable = faults.Retryable(err)
 		return resp
 	}
 	resp.Message = res.Message
@@ -274,6 +281,36 @@ func (c *Client) Query(query string) (*Response, error) {
 		return nil, fmt.Errorf("wire: receive: %w", err)
 	}
 	return &resp, nil
+}
+
+// QueryRetry sends the statement and, when the server classifies the
+// failure as retryable (resize cutover window, admission timeout,
+// quarantine-exhausted read), backs off per policy and resends. A
+// non-retryable error or an exhausted policy returns the last response.
+func (c *Client) QueryRetry(ctx context.Context, query string, p faults.Policy) (*Response, error) {
+	var resp *Response
+	var sendErr error
+	_, doErr := p.Do(ctx, func() error {
+		r, err := c.Query(query)
+		if err != nil {
+			sendErr = err
+			return faults.Permanent(err) // transport error: the session is gone
+		}
+		sendErr, resp = nil, r
+		if r.Error != "" && r.Retryable {
+			return fmt.Errorf("wire: retryable: %s", r.Error)
+		}
+		return nil
+	})
+	if sendErr != nil {
+		return nil, sendErr
+	}
+	if resp == nil {
+		return nil, doErr
+	}
+	// Policy exhaustion surfaces through resp.Error — the caller sees the
+	// last server-side outcome either way.
+	return resp, nil
 }
 
 // Send transmits one statement without waiting for its response; pair with

@@ -19,6 +19,9 @@ package redshift
 import (
 	"context"
 	"fmt"
+	"strconv"
+	"strings"
+	"sync"
 	"time"
 
 	"redshift/internal/backup"
@@ -30,6 +33,7 @@ import (
 	"redshift/internal/kms"
 	"redshift/internal/plan"
 	"redshift/internal/s3sim"
+	"redshift/internal/sql"
 	"redshift/internal/telemetry"
 	"redshift/internal/types"
 )
@@ -111,6 +115,19 @@ type Options struct {
 	// planner's row threshold) always run serial regardless; sessions
 	// override with SET max_parallel_workers.
 	MaxParallelWorkers int
+	// BurstThreshold enables concurrency scaling: when the WLM queue's
+	// aggregate pain (depth × oldest wait in seconds × BurstSlotCost)
+	// crosses this value, a read-only burst cluster is hydrated from a
+	// fresh backup and cache-ineligible reads are routed to it until the
+	// queue drains. 0 disables the feature. Inspect with
+	// SELECT * FROM stv_burst_clusters.
+	BurstThreshold float64
+	// BurstSlotCost prices one query-second of queue wait for the
+	// scale-out decision (default 1).
+	BurstSlotCost float64
+	// BurstRetireAfter is how long the queue must stay empty before the
+	// burst cluster retires (default 500ms).
+	BurstRetireAfter time.Duration
 }
 
 // Result is one statement's outcome.
@@ -142,8 +159,16 @@ type Warehouse struct {
 	// active is the manager serving the current cluster's page faults and
 	// background restore — usually backups, but the DR region's manager
 	// after a disaster restore.
-	active   *backup.Manager
+	active *backup.Manager
+
+	// bmu guards the backup counter: user backups and burst hydrations can
+	// race.
+	bmu      sync.Mutex
 	nBackups int
+
+	// burst is the concurrency-scaling manager (nil unless BurstThreshold
+	// is set).
+	burst *controlplane.BurstManager
 
 	// inj is the shared fault injector (nil when no FaultPlan was given).
 	inj *faults.Injector
@@ -197,7 +222,43 @@ func Launch(opts Options) (*Warehouse, error) {
 		w.cipher = cipher
 		w.backups.WithCipher(cipher)
 	}
+	if opts.BurstThreshold > 0 {
+		w.burst = controlplane.NewBurstManager(w.endpoint, controlplane.BurstPolicy{
+			Threshold:   opts.BurstThreshold,
+			SlotCost:    opts.BurstSlotCost,
+			RetireAfter: opts.BurstRetireAfter,
+		}, w.hydrateBurst, w.metrics)
+		db.SetBurstInfoSource(w.burst.Snapshot)
+	}
 	return w, nil
+}
+
+// Close releases background control-plane services (the burst janitor).
+// The warehouse must not be used afterwards.
+func (w *Warehouse) Close() {
+	w.burst.Stop()
+}
+
+// hydrateBurst provisions a read-only concurrency-scaling cluster: take a
+// fresh incremental backup, open a same-topology cluster, restore the
+// metadata skeleton and let block payloads page-fault in from the backup
+// store on demand (the same GET-on-fault path node recovery uses).
+func (w *Warehouse) hydrateBurst() (*core.Database, string, int64, error) {
+	id, _, err := w.Backup()
+	if err != nil {
+		return nil, "", 0, err
+	}
+	db, err := core.Open(w.coreConfig(w.Nodes()))
+	if err != nil {
+		return nil, "", 0, err
+	}
+	cat, xid, err := w.active.RestoreMetadata(id, db.Cluster())
+	if err != nil {
+		return nil, "", 0, err
+	}
+	db.AdoptCatalog(cat)
+	db.Txns().SetCommitXid(xid)
+	return db, id, xid, nil
 }
 
 // Encrypted reports whether at-rest encryption is on.
@@ -298,13 +359,39 @@ func (w *Warehouse) Metrics() *telemetry.Registry { return w.metrics }
 
 // Execute runs one SQL statement.
 func (w *Warehouse) Execute(query string) (*Result, error) {
-	return w.endpoint.DB().Execute(query)
+	return w.ExecuteContext(context.Background(), query)
 }
 
 // ExecuteContext runs one SQL statement under ctx: cancellation or a
-// deadline aborts the statement within one batch boundary.
+// deadline aborts the statement within one batch boundary. With
+// concurrency scaling enabled, eligible reads may be served by the burst
+// cluster; everything else runs on the primary. A statement that raced the
+// final resize swap onto the just-decommissioned source (rejected there
+// before any effect) is transparently replayed on the new primary.
 func (w *Warehouse) ExecuteContext(ctx context.Context, query string) (*Result, error) {
-	return w.endpoint.DB().ExecuteContext(ctx, query)
+	var stmt sql.Statement
+	if w.burst != nil {
+		if s, err := sql.Parse(query); err == nil {
+			stmt = s
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		db := w.endpoint.DB()
+		var res *Result
+		var err error
+		if stmt != nil {
+			if r, ok := w.burst.TryRoute(ctx, stmt); ok {
+				return r, nil
+			}
+			res, err = db.ExecuteStmtContext(ctx, stmt)
+		} else {
+			res, err = db.ExecuteContext(ctx, query)
+		}
+		if err != nil && core.IsDecommissioned(err) && w.endpoint.DB() != db && attempt < 3 {
+			continue
+		}
+		return res, err
+	}
 }
 
 // Cancel aborts the running query with the given stl_query id, reporting
@@ -346,9 +433,17 @@ func (w *Warehouse) Nodes() int { return w.endpoint.DB().Cluster().NumNodes() }
 
 // Backup takes an incremental block-level backup and returns its ID.
 func (w *Warehouse) Backup() (string, backup.Stats, error) {
-	db := w.endpoint.DB()
+	return w.backupDB(w.endpoint.DB())
+}
+
+// backupDB backs up a specific database — the endpoint's for user
+// backups, a resize target during cutover (warming its S3 read tier
+// before the swap), or the primary when hydrating a burst cluster.
+func (w *Warehouse) backupDB(db *core.Database) (string, backup.Stats, error) {
+	w.bmu.Lock()
 	w.nBackups++
 	id := fmt.Sprintf("backup-%03d", w.nBackups)
+	w.bmu.Unlock()
 	_, stats, err := w.backups.Backup(db.Cluster(), db.Catalog(), db.Txns().CurrentXid(), id)
 	if err == nil {
 		w.metrics.Counter("backup_runs_total").Inc()
@@ -393,6 +488,9 @@ func (w *Warehouse) Restore(id string, nodes int) error {
 	}
 	db.AdoptCatalog(cat)
 	db.Txns().SetCommitXid(xid)
+	if w.burst != nil {
+		db.SetBurstInfoSource(w.burst.Snapshot)
+	}
 	w.endpoint.Swap(db)
 	w.active = mgr
 	return nil
@@ -404,16 +502,103 @@ func (w *Warehouse) FinishRestore(parallelism int) (int, error) {
 	return w.active.BackgroundRestore(w.endpoint.DB().Cluster(), parallelism)
 }
 
-// Resize moves the warehouse to a new node count: target cluster
-// provisioned, source read-only during the parallel copy, endpoint flipped
-// (§3.1).
+// Resize moves the warehouse to a new node count with the phased online
+// workflow (§3.1): snapshot copy and catch-up while writes continue,
+// quiesce only for the final delta, endpoint flipped, source
+// decommissioned. Writes racing the cutover window see retryable errors;
+// progress is visible in stv_resize.
 func (w *Warehouse) Resize(nodes int) (controlplane.ResizeStats, error) {
-	stats, err := controlplane.ResizeDatabase(w.endpoint, w.coreConfig(nodes))
-	if err == nil {
-		// The target cluster is brand new; re-install the S3 read tier.
-		w.endpoint.DB().Cluster().SetBackupFetcher(w.active.FetchPayload)
+	opts := controlplane.ResizeOptions{
+		// Finalize runs inside the cutover window, before the endpoint
+		// swap: install the target's S3 read tier, wire its system-table
+		// sources, and warm the backup store with the target's blocks so
+		// the very first post-swap page fault can fail over to S3.
+		Finalize: func(dst *core.Database) error {
+			dst.Cluster().SetBackupFetcher(w.active.FetchPayload)
+			if w.burst != nil {
+				dst.SetBurstInfoSource(w.burst.Snapshot)
+			}
+			_, _, err := w.backupDB(dst)
+			return err
+		},
 	}
-	return stats, err
+	return controlplane.ResizeOnline(w.endpoint, w.coreConfig(nodes), opts)
+}
+
+// WireSession is a wire.SessionExecutor that survives endpoint swaps: when
+// a resize or restore moves the endpoint to a new database, the session
+// transparently reopens against it (prepared statements and SET variables
+// are per-cluster and reset — the paper's clients reconnect; ours re-bind).
+// It also understands the admin verb `RESIZE <n>`, which runs the online
+// resize workflow inline, and offers reads to the concurrency-scaling tier.
+type WireSession struct {
+	w    *Warehouse
+	db   *core.Database
+	sess *core.Session
+}
+
+// NewWireSession opens a swap-following session for one wire connection.
+func (w *Warehouse) NewWireSession() *WireSession {
+	db := w.endpoint.DB()
+	return &WireSession{w: w, db: db, sess: db.NewSession()}
+}
+
+// ExecuteContext runs one statement for a wire client.
+func (s *WireSession) ExecuteContext(ctx context.Context, query string) (*core.Result, error) {
+	if n, ok := parseResize(query); ok {
+		stats, err := s.w.Resize(n)
+		if err != nil {
+			return nil, err
+		}
+		return &core.Result{Message: fmt.Sprintf(
+			"RESIZE %d -> %d nodes (%d tables, %d rows, %d catch-up rounds, cutover %s)",
+			stats.FromNodes, stats.ToNodes, stats.Tables, stats.Rows,
+			stats.CatchupRounds, stats.CutoverWindow.Round(time.Microsecond))}, nil
+	}
+	for attempt := 0; ; attempt++ {
+		if cur := s.w.endpoint.DB(); cur != s.db {
+			s.sess.Close()
+			s.db = cur
+			s.sess = cur.NewSession()
+		}
+		var res *core.Result
+		var err error
+		routed := false
+		if s.w.burst != nil {
+			if stmt, perr := sql.Parse(query); perr == nil {
+				if r, ok := s.w.burst.TryRoute(ctx, stmt); ok {
+					res, routed = r, true
+				} else {
+					res, err = s.sess.ExecuteStmtContext(ctx, stmt)
+				}
+			}
+		}
+		if res == nil && err == nil && !routed {
+			res, err = s.sess.ExecuteContext(ctx, query)
+		}
+		// A statement that raced the swap onto the decommissioned source
+		// was rejected before any effect: follow the endpoint and replay.
+		if err != nil && core.IsDecommissioned(err) && s.w.endpoint.DB() != s.db && attempt < 3 {
+			continue
+		}
+		return res, err
+	}
+}
+
+// Close releases the underlying session.
+func (s *WireSession) Close() { s.sess.Close() }
+
+// parseResize recognizes the admin verb `RESIZE <nodes>`.
+func parseResize(query string) (int, bool) {
+	fields := strings.Fields(strings.TrimSuffix(strings.TrimSpace(query), ";"))
+	if len(fields) != 2 || !strings.EqualFold(fields[0], "RESIZE") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(fields[1])
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
 }
 
 // FailNode injects a node failure (its disk contents are lost); queries
