@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-scan bench-spill bench-plan bench-serve bench-parallel chaos chaos-resize spill
+.PHONY: build test race bench bench-scan bench-spill bench-plan bench-serve bench-parallel bench-wlm chaos chaos-resize spill workload
 
 build:
 	$(GO) build ./...
@@ -75,3 +75,19 @@ bench-serve:
 # (BENCH_parallel.json has real runs; speedup needs a multi-core host).
 bench-parallel:
 	$(GO) test -bench 'ParallelScan|ParallelBuild' -benchtime 1x -run '^$$' .
+
+# Multi-tenant QoS battery under the race detector: the pinned-seed
+# workload replay against named queues (fast-lane p99 bounded under ETL
+# saturation, zero cross-queue leakage, stv_wlm_* books balanced), the
+# single-queue ablation twin, the named-queue WLM unit suite, and the
+# synthesizer determinism/shape tests.
+workload:
+	$(GO) test -race -run 'TestWorkloadQoS' -v .
+	$(GO) test -race -run 'TestWLM' ./internal/core
+	$(GO) test -race ./internal/workload
+
+# One-iteration WLM replay benchmark: CI smoke that both twin
+# configurations (named fast lane vs single shared queue) stay runnable
+# (BENCH_wlm.json has real runs comparing short-query p99).
+bench-wlm:
+	$(GO) test -bench WorkloadReplay -benchtime 1x -run '^$$' .

@@ -52,6 +52,8 @@ func main() {
 	interpreted := flag.Bool("interpreted", false, "use the row-at-a-time engine")
 	encrypted := flag.Bool("encrypted", false, "encrypt all at-rest backup data (§3.2)")
 	slots := flag.Int("slots", 0, "WLM query slots (0 = unlimited)")
+	wlmQueues := flag.String("wlm-queues", "", `named WLM queues, e.g. "express=2,short=20000;dash=4,prio=5;etl=2,mem=50%,timeout=60s" (empty = one default queue of -slots)`)
+	wlmMem := flag.String("wlm-mem", "default", `execution-memory pool split across WLM slots, e.g. "512MB" ("default" disables governance)`)
 	planCache := flag.Int("plan-cache", 0, "plan cache entries (0 = default 256, negative disables)")
 	resultCache := flag.String("result-cache-bytes", "default", `result cache budget, e.g. "64MB" ("default" = 32MiB, "off" disables)`)
 	blockCache := flag.String("block-cache-bytes", "default", `decoded-block buffer cache budget, e.g. "256MB" ("default" = 64MiB, "off" disables)`)
@@ -61,12 +63,23 @@ func main() {
 	metricsAddr := flag.String("metrics", "127.0.0.1:5440", "metrics HTTP address (empty disables)")
 	flag.Parse()
 
+	queues, err := redshift.ParseWLMQueues(*wlmQueues)
+	if err != nil {
+		log.Fatalf("-wlm-queues: %v", err)
+	}
+	memPool := byteSizeFlag("wlm-mem", *wlmMem)
+	if memPool < 0 {
+		memPool = 0 // "off" and "default" both mean ungoverned
+	}
+
 	wh, err := redshift.Launch(redshift.Options{
 		Nodes:              *nodes,
 		SlicesPerNode:      *slices,
 		Interpreted:        *interpreted,
 		Encrypted:          *encrypted,
 		QuerySlots:         *slots,
+		WLMQueues:          queues,
+		WLMSlotMemBytes:    memPool,
 		PlanCacheEntries:   *planCache,
 		ResultCacheBytes:   byteSizeFlag("result-cache-bytes", *resultCache),
 		BlockCacheBytes:    byteSizeFlag("block-cache-bytes", *blockCache),

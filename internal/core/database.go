@@ -44,8 +44,12 @@ type Config struct {
 	// Optional; COPY fails without it.
 	DataStore *s3sim.Store
 	// QuerySlots bounds concurrent SELECTs (the WLM queue); 0 means
-	// unlimited.
+	// unlimited. Ignored when WLMQueues is set.
 	QuerySlots int
+	// WLMQueues configures named WLM queues (slots, memory shares,
+	// priorities, a short-query fast lane, wait timeouts). Empty means one
+	// default queue of QuerySlots.
+	WLMQueues []QueueSpec
 	// Metrics is the shared telemetry registry; a private one is created
 	// when nil, so emission code never nil-checks. Passing one in lets the
 	// warehouse layer keep fleet counters across resize and restore.
@@ -172,9 +176,11 @@ type ExecStats struct {
 	RowsScanned   int64
 	NetBytes      int64
 	PlanTime      time.Duration
-	// QueueWait is time spent waiting for a WLM slot.
+	// QueueWait is time spent waiting for a WLM slot; Queue names the WLM
+	// queue that admitted the query ("" for statements that bypass WLM).
 	QueueWait time.Duration
 	ExecTime  time.Duration
+	Queue     string
 }
 
 // Result is one statement's outcome.
@@ -227,12 +233,18 @@ func Open(cfg Config) (*Database, error) {
 	cl.SetMetrics(cfg.Metrics)
 	cl.SetFaults(cfg.Faults)
 	cfg.Faults.SetMetrics(cfg.Metrics)
+	wlm := NewWLM(cfg.QuerySlots, cfg.WLMSlotMemBytes, cfg.Metrics)
+	if len(cfg.WLMQueues) > 0 {
+		if wlm, err = NewWLMQueues(cfg.WLMQueues, cfg.WLMSlotMemBytes, cfg.Metrics); err != nil {
+			return nil, err
+		}
+	}
 	db := &Database{
 		cfg:        cfg,
 		cat:        catalog.New(),
 		cl:         cl,
 		txm:        txn.NewManager(),
-		wlm:        NewWLM(cfg.QuerySlots, cfg.WLMSlotMemBytes, cfg.Metrics),
+		wlm:        wlm,
 		metrics:    cfg.Metrics,
 		qlog:       telemetry.NewQueryLog(cfg.QueryLogSize),
 		sliceStats: make([]sliceStat, cl.NumSlices()),
@@ -338,8 +350,11 @@ func (db *Database) Mode() exec.Mode { return db.cfg.Mode }
 // DataStore returns the object store COPY reads from (nil when unset).
 func (db *Database) DataStore() *s3sim.Store { return db.cfg.DataStore }
 
-// WLMStats snapshots the workload manager's counters.
+// WLMStats snapshots the workload manager's aggregate counters.
 func (db *Database) WLMStats() WLMStats { return db.wlm.Stats() }
+
+// WLMQueueStats snapshots every WLM queue's configuration and counters.
+func (db *Database) WLMQueueStats() []WLMQueueStats { return db.wlm.QueueStats() }
 
 // AdoptCatalog replaces the database's catalog — the final step of
 // restoring a backup into a fresh cluster, after RestoreMetadata has

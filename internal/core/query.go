@@ -84,7 +84,7 @@ func (db *Database) runSelectTraced(ctx context.Context, sess *Session, s *sql.S
 			qid, _, cancel := db.registerQuery(ctx, norm)
 			cancel(nil)
 			db.unregisterQuery(qid)
-			db.recordQuery(qid, norm, start, 0, 0, 0, res, nil, nil, "success", 0, 0)
+			db.recordQuery(qid, norm, start, "", 0, 0, 0, res, nil, nil, "success", 0, 0)
 			return res, nil, nil
 		}
 	}
@@ -98,24 +98,11 @@ func (db *Database) runSelectTraced(ctx context.Context, sess *Session, s *sql.S
 	defer cancel(nil)
 	defer db.unregisterQuery(qid)
 
+	// Stage 3: bind/plan, through the shared plan cache. Planning happens
+	// BEFORE WLM admission — it is leader-side work that holds no slot, and
+	// the plan's cost estimate is what routes short queries into the
+	// fast-lane queue.
 	trace := telemetry.StartSpan("query")
-	queueWait, err := db.wlm.AcquireCtx(ctx)
-	if err != nil {
-		// The slot was never acquired: nothing to release.
-		trace.End()
-		state, err := classifyQueryErr(ctx, qid, err)
-		if state == "timeout" {
-			// The query never started executing, so resending it is always
-			// safe — unlike a mid-execution statement timeout, an admission
-			// timeout is retryable.
-			err = faults.MarkRetryable(err)
-		}
-		db.recordQuery(qid, norm, start, queueWait, 0, 0, nil, trace, err, state, 0, 0)
-		return nil, trace, err
-	}
-	defer db.wlm.Release()
-
-	// Stage 3: bind/plan, through the shared plan cache.
 	planSpan := trace.StartChild("plan")
 	planStart := time.Now()
 	p, _, err := db.planFor(s, norm)
@@ -123,9 +110,33 @@ func (db *Database) runSelectTraced(ctx context.Context, sess *Session, s *sql.S
 	planSpan.End()
 	if err != nil {
 		trace.End()
-		db.recordQuery(qid, norm, start, queueWait, planTime, 0, nil, trace, err, "error", 0, 0)
+		db.recordQuery(qid, norm, start, "", 0, planTime, 0, nil, trace, err, "error", 0, 0)
 		return nil, trace, err
 	}
+
+	// WLM admission: the fast lane claims queries whose cost estimate is
+	// under its threshold; otherwise the session's query_group names the
+	// queue, else the default queue.
+	queue := db.wlm.Route(sess.QueryGroup(), p.EstCost)
+	ticket, err := db.wlm.AcquireQueueCtx(ctx, queue)
+	if err != nil {
+		// The slot was never acquired: nothing to release.
+		trace.End()
+		state := "evicted"
+		if !IsQueueTimeout(err) {
+			state, err = classifyQueryErr(ctx, qid, err)
+			if state == "timeout" {
+				// The query never started executing, so resending it is
+				// always safe — unlike a mid-execution statement timeout, an
+				// admission timeout is retryable.
+				err = faults.MarkRetryable(err)
+			}
+		}
+		db.recordQuery(qid, norm, start, queue, 0, planTime, 0, nil, trace, err, state, 0, 0)
+		return nil, trace, err
+	}
+	defer db.wlm.ReleaseTicket(ticket)
+	queueWait := ticket.Wait
 
 	// Pin the referenced tables' data versions BEFORE taking the txn
 	// snapshot (writers bump AFTER publishing): anything published after
@@ -138,12 +149,12 @@ func (db *Database) runSelectTraced(ctx context.Context, sess *Session, s *sql.S
 	}
 
 	// Memory governance: the query's grant comes from work_mem (session
-	// override) or the WLM slot budget; the tracker charges blocking
-	// operators against it and the scratch dir receives their spills. The
-	// deferred cleanup runs on EVERY exit — success, error, cancel,
-	// timeout — so scratch files never outlive the query and
+	// override) or the admitting queue's per-slot budget; the tracker
+	// charges blocking operators against it and the scratch dir receives
+	// their spills. The deferred cleanup runs on EVERY exit — success,
+	// error, cancel, timeout — so scratch files never outlive the query and
 	// exec_mem_bytes returns to zero.
-	grant := sess.effectiveMemBudget()
+	grant := sess.memBudgetFor(ticket.Grant)
 	mem := exec.NewMemTracker(grant, db.metrics.Gauge("exec_mem_bytes"))
 	spillDir := exec.NewSpillDir(db.spillBase(), fmt.Sprintf("query-%d", qid))
 	defer func() {
@@ -173,7 +184,7 @@ func (db *Database) runSelectTraced(ctx context.Context, sess *Session, s *sql.S
 	db.metrics.Counter("failover_reads_total").Add(q.scans.FailoverReads.Load())
 	if err != nil {
 		state, err := classifyQueryErr(ctx, qid, err)
-		db.recordQuery(qid, norm, start, queueWait, planTime, execTime, nil, trace, err, state, mem.Peak(), spillDir.Bytes())
+		db.recordQuery(qid, norm, start, ticket.Queue, queueWait, planTime, execTime, nil, trace, err, state, mem.Peak(), spillDir.Bytes())
 		return nil, trace, err
 	}
 	res := &Result{
@@ -186,6 +197,7 @@ func (db *Database) runSelectTraced(ctx context.Context, sess *Session, s *sql.S
 			PlanTime:      planTime,
 			QueueWait:     queueWait,
 			ExecTime:      execTime,
+			Queue:         ticket.Queue,
 		},
 	}
 	for i := 0; i < final.N; i++ {
@@ -194,18 +206,20 @@ func (db *Database) runSelectTraced(ctx context.Context, sess *Session, s *sql.S
 	if cacheable {
 		db.resultStore(norm, res, verKey)
 	}
-	db.recordQuery(qid, norm, start, queueWait, planTime, execTime, res, trace, nil, "success", mem.Peak(), spillDir.Bytes())
+	db.recordQuery(qid, norm, start, ticket.Queue, queueWait, planTime, execTime, res, trace, nil, "success", mem.Peak(), spillDir.Bytes())
 	return res, trace, nil
 }
 
 // recordQuery appends one finished SELECT to the query log and emits its
-// counters into the registry. sqlText is the normalized statement.
-func (db *Database) recordQuery(qid int64, sqlText string, start time.Time, queueWait, planTime, execTime time.Duration, res *Result, trace *telemetry.Span, runErr error, state string, memPeak, spillBytes int64) {
+// counters into the registry. sqlText is the normalized statement; queue is
+// the WLM queue that admitted (or evicted) it, "" for cache hits.
+func (db *Database) recordQuery(qid int64, sqlText string, start time.Time, queue string, queueWait, planTime, execTime time.Duration, res *Result, trace *telemetry.Span, runErr error, state string, memPeak, spillBytes int64) {
 	rec := telemetry.QueryRecord{
 		ID:         qid,
 		SQL:        sqlText,
 		Start:      start,
 		End:        time.Now(),
+		Queue:      queue,
 		QueueWait:  queueWait,
 		PlanTime:   planTime,
 		ExecTime:   execTime,
@@ -239,6 +253,8 @@ func (db *Database) recordQuery(qid int64, sqlText string, start time.Time, queu
 			m.Counter("query_cancelled_total").Inc()
 		case "timeout":
 			m.Counter("query_timeout_total").Inc()
+		case "evicted":
+			m.Counter("query_evicted_total").Inc()
 		default:
 			m.Counter("query_errors_total").Inc()
 		}

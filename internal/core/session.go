@@ -40,6 +40,10 @@ type Session struct {
 	// result-cache hits and stores (but keeps plan-cache reuse, which is
 	// settings-independent).
 	resultCacheOff atomic.Bool
+	// queryGroup is the SET query_group WLM routing tag: the named queue
+	// this session's SELECTs are admitted through ("" = default queue; the
+	// short-query fast lane overrides it for cheap queries either way).
+	queryGroup atomic.Value // string
 
 	// mu guards the prepared-statement registry.
 	mu       sync.Mutex
@@ -75,14 +79,28 @@ func (s *Session) StatementTimeout() time.Duration {
 	return time.Duration(s.stmtTimeout.Load())
 }
 
+// QueryGroup returns the session's SET query_group value ("" = unset).
+func (s *Session) QueryGroup() string {
+	if v, ok := s.queryGroup.Load().(string); ok {
+		return v
+	}
+	return ""
+}
+
 // effectiveMemBudget resolves the session's per-query memory grant: the
-// SET work_mem override when one is in effect, else the WLM slot grant.
-// 0 means ungoverned.
+// SET work_mem override when one is in effect, else the default WLM slot
+// grant. 0 means ungoverned.
 func (s *Session) effectiveMemBudget() int64 {
+	return s.memBudgetFor(s.db.wlm.Grant())
+}
+
+// memBudgetFor resolves the grant for a query admitted with the given
+// queue slot budget: the SET work_mem override wins, else the queue's.
+func (s *Session) memBudgetFor(queueGrant int64) int64 {
 	if wm := s.workMem.Load(); wm >= 0 {
 		return wm
 	}
-	return s.db.wlm.Grant()
+	return queueGrant
 }
 
 // Execute parses and runs one SQL statement with auto-commit.
@@ -254,6 +272,21 @@ func (s *Session) runSet(st *sql.Set) (*Result, error) {
 		default:
 			return nil, fmt.Errorf("core: result_cache wants on or off, got %q", st.Value)
 		}
+		return &Result{Message: "SET"}, nil
+	case "query_group":
+		// Routes this session's SELECTs into a named WLM queue. Validated
+		// eagerly so a typo fails at SET, not by silently running in the
+		// default queue. "default"/"none" resets.
+		v := strings.ToLower(strings.Trim(st.Value, "'\""))
+		if v == "" || v == "none" || v == DefaultQueueName {
+			s.queryGroup.Store("")
+			return &Result{Message: "SET"}, nil
+		}
+		if !s.db.wlm.HasQueue(v) {
+			return nil, fmt.Errorf("core: query_group %q: no such WLM queue (have %s)",
+				st.Value, strings.Join(s.db.wlm.QueueNames(), ", "))
+		}
+		s.queryGroup.Store(v)
 		return &Result{Message: "SET"}, nil
 	case "fault_injection":
 		if s.db.inj == nil {

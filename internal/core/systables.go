@@ -44,6 +44,7 @@ var systemTables = []systemTable{
 			{Name: "state", Type: types.String},
 			{Name: "mem_peak", Type: types.Int64},
 			{Name: "spill_bytes", Type: types.Int64},
+			{Name: "queue", Type: types.String},
 		},
 		rows: func(db *Database) []types.Row {
 			recs := db.qlog.Records()
@@ -77,6 +78,70 @@ var systemTables = []systemTable{
 					types.NewString(state),
 					types.NewInt(r.MemPeak),
 					types.NewInt(r.SpillBytes),
+					types.NewString(r.Queue),
+				})
+			}
+			return rows
+		},
+	},
+	{
+		// Queue configuration plus cumulative service counters — the
+		// "service class" view. Live occupancy is stv_wlm_queue_state.
+		name: "stv_wlm_queues",
+		cols: []catalog.ColumnDef{
+			{Name: "queue", Type: types.String},
+			{Name: "slots", Type: types.Int64},
+			{Name: "priority", Type: types.Int64},
+			{Name: "mem_per_slot", Type: types.Int64},
+			{Name: "short_query_rows", Type: types.Int64},
+			{Name: "timeout_ms", Type: types.Int64},
+			{Name: "total_queries", Type: types.Int64},
+			{Name: "total_wait_ms", Type: types.Float64},
+			{Name: "timeouts", Type: types.Int64},
+			{Name: "evictions", Type: types.Int64},
+			{Name: "peak_active", Type: types.Int64},
+			{Name: "peak_queued", Type: types.Int64},
+		},
+		rows: func(db *Database) []types.Row {
+			var rows []types.Row
+			for _, q := range db.wlm.QueueStats() {
+				rows = append(rows, types.Row{
+					types.NewString(q.Name),
+					types.NewInt(int64(q.Slots)),
+					types.NewInt(int64(q.Priority)),
+					types.NewInt(q.MemPerSlot),
+					types.NewInt(q.MaxEstRows),
+					types.NewInt(q.Timeout.Milliseconds()),
+					types.NewInt(q.TotalRun),
+					types.NewFloat(float64(q.TotalWait.Microseconds()) / 1e3),
+					types.NewInt(q.Timeouts),
+					types.NewInt(q.Evictions),
+					types.NewInt(int64(q.PeakActive)),
+					types.NewInt(int64(q.PeakQueued)),
+				})
+			}
+			return rows
+		},
+	},
+	{
+		// Live per-queue occupancy. System selects bypass WLM admission, so
+		// this stays queryable while every queue is saturated — the whole
+		// point of a queue-depth monitoring view.
+		name: "stv_wlm_queue_state",
+		cols: []catalog.ColumnDef{
+			{Name: "queue", Type: types.String},
+			{Name: "active", Type: types.Int64},
+			{Name: "queued", Type: types.Int64},
+			{Name: "oldest_wait_ms", Type: types.Float64},
+		},
+		rows: func(db *Database) []types.Row {
+			var rows []types.Row
+			for _, q := range db.wlm.QueueStats() {
+				rows = append(rows, types.Row{
+					types.NewString(q.Name),
+					types.NewInt(int64(q.Active)),
+					types.NewInt(int64(q.Queued)),
+					types.NewFloat(float64(q.OldestWait.Microseconds()) / 1e3),
 				})
 			}
 			return rows

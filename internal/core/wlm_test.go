@@ -54,28 +54,30 @@ func TestWLMQueueWaitReported(t *testing.T) {
 		t.Fatal(err)
 	}
 	seedSales(t, db)
-	var wg sync.WaitGroup
-	var sawWait bool
-	var mu sync.Mutex
-	for i := 0; i < 8; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			res, err := db.Execute(`SELECT COUNT(*) FROM sales WHERE qty > 1`)
-			if err != nil {
-				t.Error(err)
-				return
-			}
-			if res.Stats.QueueWait > 0 {
-				mu.Lock()
-				sawWait = true
-				mu.Unlock()
-			}
-		}()
+	// Occupy the only slot so the query below must queue. (Since planning
+	// moved ahead of admission, a query racing other fast queries may never
+	// actually wait — holding the slot makes the contention deterministic.)
+	db.wlm.Acquire()
+	type outcome struct {
+		res *Result
+		err error
 	}
-	wg.Wait()
-	if !sawWait {
-		t.Error("no query ever reported queue wait with 1 slot and 8 clients")
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := db.Execute(`SELECT COUNT(*) FROM sales WHERE qty > 1`)
+		done <- outcome{res, err}
+	}()
+	time.Sleep(30 * time.Millisecond)
+	db.wlm.Release()
+	out := <-done
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if out.res.Stats.QueueWait <= 0 {
+		t.Errorf("query queued behind a held slot reported QueueWait = %v", out.res.Stats.QueueWait)
+	}
+	if out.res.Stats.Queue != DefaultQueueName {
+		t.Errorf("queue = %q, want %q", out.res.Stats.Queue, DefaultQueueName)
 	}
 }
 

@@ -56,6 +56,12 @@ type Scanner struct {
 	fetch      BlockFetcher
 	stats      *ScanStats
 	cache      *storage.BlockCache
+	tableID    int64
+	// epoch is the table's cache-invalidation epoch sampled at SetCache
+	// time — before the caller resolves visible segments — so a scan racing
+	// a VACUUM rewrite can neither read nor re-insert stale vectors under
+	// reused block identities.
+	epoch uint64
 	// inj fires the storage.read.primary site before each decode — an
 	// injected error is treated as a local media failure and fails over
 	// through fetch like a non-resident block.
@@ -76,6 +82,7 @@ func NewScanner(mode Mode, scan *plan.TableScan, fetch BlockFetcher, stats *Scan
 	}
 	s := &Scanner{
 		width:    len(scan.Def.Columns),
+		tableID:  scan.Def.ID,
 		needCols: scan.NeedCols,
 		ranges:   scan.Ranges,
 		filter:   filter,
@@ -101,8 +108,14 @@ func NewScanner(mode Mode, scan *plan.TableScan, fetch BlockFetcher, stats *Scan
 	return s, nil
 }
 
-// SetCache attaches a decoded-block buffer cache (nil disables).
-func (s *Scanner) SetCache(c *storage.BlockCache) { s.cache = c }
+// SetCache attaches a decoded-block buffer cache (nil disables) and
+// samples the table's invalidation epoch. Callers must attach the cache
+// BEFORE resolving the snapshot's visible segments — that ordering is
+// what makes the epoch fence sound.
+func (s *Scanner) SetCache(c *storage.BlockCache) {
+	s.cache = c
+	s.epoch = c.Epoch(s.tableID)
+}
 
 // SetFaults attaches a fault injector to the primary read path (nil
 // detaches).
@@ -206,7 +219,7 @@ func (s *Scanner) ScanBlock(ctx context.Context, seg *storage.Segment, bi int) (
 // buffer cache when possible, decoding (and page-faulting) otherwise.
 func (s *Scanner) materialize(ctx context.Context, seg *storage.Segment, c, bi int, batch *Batch) error {
 	blk := seg.Block(c, bi)
-	if v, ok := s.cache.Get(blk.ID); ok {
+	if v, ok := s.cache.Get(blk.ID, s.epoch); ok {
 		// Hand out a capacity-clamped view: cached vectors are shared
 		// across queries and must never be appended to in place.
 		batch.Cols[c] = v.View()
@@ -224,7 +237,7 @@ func (s *Scanner) materialize(ctx context.Context, seg *storage.Segment, c, bi i
 	s.stats.BlocksRead.Add(1)
 	s.stats.BytesRead.Add(blk.ByteSize())
 	if s.cache != nil {
-		s.cache.Put(blk.ID, v)
+		s.cache.Put(blk.ID, v, s.epoch)
 		v = v.View()
 	}
 	batch.Cols[c] = v

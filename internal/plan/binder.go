@@ -39,7 +39,23 @@ func BuildWith(cat *catalog.Catalog, stmt *sql.Select, opts Options) (*Plan, err
 	}
 	b.plan.Distinct = stmt.Distinct
 	b.pruneColumns()
+	b.plan.EstCost = estPlanCost(b.plan)
 	return b.plan, nil
+}
+
+// estPlanCost folds the lowered physical tree's per-node cardinality
+// estimates into one scalar: total estimated rows flowing through the
+// plan. Any node with unknown cardinality poisons the estimate to -1 — the
+// WLM fast lane must never admit a query it cannot size.
+func estPlanCost(p *Plan) int64 {
+	var total int64
+	for _, n := range BuildPhysical(p).Nodes {
+		if n.EstRows < 0 {
+			return -1
+		}
+		total += n.EstRows
+	}
+	return total
 }
 
 type binder struct {

@@ -145,6 +145,11 @@ type Plan struct {
 	Distinct   bool
 	OrderBy    []OrderKey
 	Limit      int64 // -1 = none
+	// EstCost is the plan's scalar cost estimate — the sum of estimated
+	// rows flowing through every physical node — or -1 when any node's
+	// cardinality is unknown. The WLM's short-query fast lane compares it
+	// against its admission threshold.
+	EstCost int64
 }
 
 // FieldTypes returns the output column types.

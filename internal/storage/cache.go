@@ -15,6 +15,17 @@ import (
 // reuses block identities (DROP TABLE, TRUNCATE, VACUUM's segment
 // rewrite), handled by InvalidateTable.
 //
+// Invalidation is epoch-fenced: InvalidateTable bumps the table's epoch
+// as well as dropping its entries, and readers carry the epoch they
+// sampled BEFORE resolving their visible segments. A reader whose scan
+// started against pre-invalidation segments then fails the epoch check on
+// both Get and Put — it can neither be served a new-identity vector for
+// its old blocks nor re-insert an old decode under an identity the
+// rewrite reused (the stale-reader poisoning race: without the fence, a
+// scan concurrent with VACUUM could cache an old block's vector after the
+// invalidation ran, and every later reader of the rewritten block would
+// hit it).
+//
 // Eviction is LRU over a byte budget. All methods are safe for
 // concurrent use by slice goroutines, and nil-receiver safe so a
 // disabled cache is simply a nil pointer.
@@ -24,6 +35,8 @@ type BlockCache struct {
 	bytes   int64
 	entries map[BlockID]*list.Element
 	lru     *list.List // front = most recently used
+	// epochs counts invalidations per table; missing = 0.
+	epochs map[int64]uint64
 
 	hits      atomic.Int64
 	misses    atomic.Int64
@@ -32,9 +45,10 @@ type BlockCache struct {
 
 // cacheEntry is one cached decoded block.
 type cacheEntry struct {
-	id   BlockID
-	v    *types.Vector
-	size int64
+	id    BlockID
+	v     *types.Vector
+	size  int64
+	epoch uint64
 }
 
 // NewBlockCache returns a cache bounded to budget bytes of decoded
@@ -47,18 +61,34 @@ func NewBlockCache(budget int64) *BlockCache {
 		budget:  budget,
 		entries: map[BlockID]*list.Element{},
 		lru:     list.New(),
+		epochs:  map[int64]uint64{},
 	}
 }
 
-// Get returns the cached decoded vector for id. Callers must treat the
-// vector as immutable — see View for a safe hand-out.
-func (c *BlockCache) Get(id BlockID) (*types.Vector, bool) {
+// Epoch returns the table's current invalidation epoch. Readers sample it
+// BEFORE resolving their visible segments and pass it to Get/Put — the
+// ordering guarantees a reader holding pre-invalidation segments also
+// holds a pre-invalidation epoch.
+func (c *BlockCache) Epoch(tableID int64) uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	e := c.epochs[tableID]
+	c.mu.Unlock()
+	return e
+}
+
+// Get returns the cached decoded vector for id, provided the caller's
+// sampled epoch is still the block identity's current one. Callers must
+// treat the vector as immutable.
+func (c *BlockCache) Get(id BlockID, epoch uint64) (*types.Vector, bool) {
 	if c == nil {
 		return nil, false
 	}
 	c.mu.Lock()
 	el, ok := c.entries[id]
-	if !ok {
+	if !ok || el.Value.(*cacheEntry).epoch != epoch {
 		c.mu.Unlock()
 		c.misses.Add(1)
 		return nil, false
@@ -72,8 +102,10 @@ func (c *BlockCache) Get(id BlockID) (*types.Vector, bool) {
 
 // Put caches a decoded vector, evicting least-recently-used entries
 // until the byte budget holds. Vectors larger than the whole budget are
-// not cached. The caller must not mutate v after Put.
-func (c *BlockCache) Put(id BlockID, v *types.Vector) {
+// not cached, and a Put whose sampled epoch is no longer the table's
+// current one is dropped — its content belongs to a block identity that
+// has since been rewritten. The caller must not mutate v after Put.
+func (c *BlockCache) Put(id BlockID, v *types.Vector, epoch uint64) {
 	if c == nil || v == nil {
 		return
 	}
@@ -82,13 +114,17 @@ func (c *BlockCache) Put(id BlockID, v *types.Vector) {
 		return
 	}
 	c.mu.Lock()
+	if epoch != c.epochs[id.Table] {
+		c.mu.Unlock()
+		return
+	}
 	if el, ok := c.entries[id]; ok {
-		// Same ID ⇒ same immutable content; just refresh recency.
+		// Same ID and epoch ⇒ same immutable content; refresh recency.
 		c.lru.MoveToFront(el)
 		c.mu.Unlock()
 		return
 	}
-	c.entries[id] = c.lru.PushFront(&cacheEntry{id: id, v: v, size: size})
+	c.entries[id] = c.lru.PushFront(&cacheEntry{id: id, v: v, size: size, epoch: epoch})
 	c.bytes += size
 	for c.bytes > c.budget {
 		c.evictOldestLocked()
@@ -109,14 +145,17 @@ func (c *BlockCache) evictOldestLocked() {
 	c.evictions.Add(1)
 }
 
-// InvalidateTable drops every cached block of one table — DROP TABLE,
-// TRUNCATE and VACUUM can reuse that table's block identities with new
-// content.
+// InvalidateTable drops every cached block of one table and bumps its
+// epoch — DROP TABLE, TRUNCATE and VACUUM can reuse that table's block
+// identities with new content, and the epoch bump fences out readers
+// whose scans started before the rewrite (their Gets and Puts no longer
+// match).
 func (c *BlockCache) InvalidateTable(tableID int64) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
+	c.epochs[tableID]++
 	for id, el := range c.entries {
 		if id.Table != tableID {
 			continue

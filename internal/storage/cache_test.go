@@ -23,12 +23,12 @@ func cacheID(table int64, idx int32) BlockID {
 func TestBlockCacheGetPut(t *testing.T) {
 	c := NewBlockCache(1 << 20)
 	id := cacheID(1, 0)
-	if _, ok := c.Get(id); ok {
+	if _, ok := c.Get(id, c.Epoch(1)); ok {
 		t.Fatal("hit on empty cache")
 	}
 	v := cacheVec(8)
-	c.Put(id, v)
-	got, ok := c.Get(id)
+	c.Put(id, v, c.Epoch(1))
+	got, ok := c.Get(id, c.Epoch(1))
 	if !ok || got != v {
 		t.Fatalf("Get = %v, %v; want the cached vector", got, ok)
 	}
@@ -37,7 +37,7 @@ func TestBlockCacheGetPut(t *testing.T) {
 		t.Errorf("stats = %+v", s)
 	}
 	// A duplicate Put of the same immutable block is a no-op.
-	c.Put(id, cacheVec(8))
+	c.Put(id, cacheVec(8), c.Epoch(1))
 	if s2 := c.Stats(); s2.Entries != 1 || s2.Bytes != v.ByteSize() {
 		t.Errorf("duplicate Put changed residency: %+v", s2)
 	}
@@ -47,18 +47,18 @@ func TestBlockCacheLRUEviction(t *testing.T) {
 	one := cacheVec(16).ByteSize()
 	c := NewBlockCache(3 * one)
 	for i := int32(0); i < 3; i++ {
-		c.Put(cacheID(1, i), cacheVec(16))
+		c.Put(cacheID(1, i), cacheVec(16), 0)
 	}
 	// Touch block 0 so block 1 becomes the LRU victim.
-	if _, ok := c.Get(cacheID(1, 0)); !ok {
+	if _, ok := c.Get(cacheID(1, 0), 0); !ok {
 		t.Fatal("block 0 missing before eviction")
 	}
-	c.Put(cacheID(1, 3), cacheVec(16))
-	if _, ok := c.Get(cacheID(1, 1)); ok {
+	c.Put(cacheID(1, 3), cacheVec(16), 0)
+	if _, ok := c.Get(cacheID(1, 1), 0); ok {
 		t.Error("LRU entry survived over-budget Put")
 	}
 	for _, idx := range []int32{0, 2, 3} {
-		if _, ok := c.Get(cacheID(1, idx)); !ok {
+		if _, ok := c.Get(cacheID(1, idx), 0); !ok {
 			t.Errorf("block %d evicted out of LRU order", idx)
 		}
 	}
@@ -71,22 +71,22 @@ func TestBlockCacheLRUEviction(t *testing.T) {
 	if big.ByteSize() <= c.Stats().Budget {
 		t.Fatal("test vector not oversized")
 	}
-	c.Put(cacheID(1, 9), big)
-	if _, ok := c.Get(cacheID(1, 9)); ok {
+	c.Put(cacheID(1, 9), big, 0)
+	if _, ok := c.Get(cacheID(1, 9), 0); ok {
 		t.Error("oversized vector was cached")
 	}
 }
 
 func TestBlockCacheInvalidateTable(t *testing.T) {
 	c := NewBlockCache(1 << 20)
-	c.Put(cacheID(1, 0), cacheVec(8))
-	c.Put(cacheID(1, 1), cacheVec(8))
-	c.Put(cacheID(2, 0), cacheVec(8))
+	c.Put(cacheID(1, 0), cacheVec(8), 0)
+	c.Put(cacheID(1, 1), cacheVec(8), 0)
+	c.Put(cacheID(2, 0), cacheVec(8), 0)
 	c.InvalidateTable(1)
-	if _, ok := c.Get(cacheID(1, 0)); ok {
+	if _, ok := c.Get(cacheID(1, 0), c.Epoch(1)); ok {
 		t.Error("table 1 block survived invalidation")
 	}
-	if _, ok := c.Get(cacheID(2, 0)); !ok {
+	if _, ok := c.Get(cacheID(2, 0), c.Epoch(2)); !ok {
 		t.Error("table 2 block lost to table 1 invalidation")
 	}
 	if s := c.Stats(); s.Entries != 1 {
@@ -98,15 +98,48 @@ func TestBlockCacheInvalidateTable(t *testing.T) {
 	}
 }
 
+// TestBlockCacheEpochFence proves the stale-reader fence: a reader that
+// sampled its epoch before an invalidation can neither hit nor poison
+// block identities the rewrite reused.
+func TestBlockCacheEpochFence(t *testing.T) {
+	c := NewBlockCache(1 << 20)
+	staleEpoch := c.Epoch(1)
+	c.InvalidateTable(1) // the VACUUM rewrite, concurrent with the reader
+
+	// The stale reader's Put of an old decode under the reused identity is
+	// dropped...
+	c.Put(cacheID(1, 0), cacheVec(8), staleEpoch)
+	if s := c.Stats(); s.Entries != 0 {
+		t.Fatalf("stale Put was cached: %+v", s)
+	}
+
+	// ...so a fresh reader decodes the new content and caches it,
+	fresh := c.Epoch(1)
+	newVec := cacheVec(16)
+	c.Put(cacheID(1, 0), newVec, fresh)
+	if got, ok := c.Get(cacheID(1, 0), fresh); !ok || got != newVec {
+		t.Fatalf("fresh Get = %v, %v; want the new vector", got, ok)
+	}
+
+	// ...and the stale reader misses rather than seeing the new identity's
+	// content for its old snapshot.
+	if _, ok := c.Get(cacheID(1, 0), staleEpoch); ok {
+		t.Error("stale reader was served a post-rewrite vector")
+	}
+}
+
 func TestBlockCacheNilDisabled(t *testing.T) {
 	c := NewBlockCache(-1)
 	if c != nil {
 		t.Fatal("negative budget should disable the cache")
 	}
 	// Every method must be a safe no-op on the nil receiver.
-	c.Put(cacheID(1, 0), cacheVec(4))
-	if _, ok := c.Get(cacheID(1, 0)); ok {
+	c.Put(cacheID(1, 0), cacheVec(4), 0)
+	if _, ok := c.Get(cacheID(1, 0), 0); ok {
 		t.Error("nil cache returned a hit")
+	}
+	if c.Epoch(1) != 0 {
+		t.Error("nil cache epoch != 0")
 	}
 	c.InvalidateTable(1)
 	c.Clear()
@@ -126,16 +159,18 @@ func TestBlockCacheConcurrent(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 400; i++ {
-				id := cacheID(int64(1+i%3), int32(i%32))
-				if v, ok := c.Get(id); ok {
+				table := int64(1 + i%3)
+				id := cacheID(table, int32(i%32))
+				epoch := c.Epoch(table)
+				if v, ok := c.Get(id, epoch); ok {
 					if v.Len() != 16 {
 						panic(fmt.Sprintf("corrupt cached vector: len %d", v.Len()))
 					}
 					continue
 				}
-				c.Put(id, cacheVec(16))
+				c.Put(id, cacheVec(16), epoch)
 				if i%64 == 0 {
-					c.InvalidateTable(int64(1 + i%3))
+					c.InvalidateTable(table)
 				}
 			}
 		}(g)

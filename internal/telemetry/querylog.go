@@ -13,7 +13,10 @@ type QueryRecord struct {
 	// SQL is the statement text (reconstructed from the AST).
 	SQL        string
 	Start, End time.Time
-	QueueWait  time.Duration
+	// Queue is the WLM queue that admitted (or evicted) the query; "" for
+	// cache hits and statements that bypass WLM.
+	Queue     string
+	QueueWait time.Duration
 	PlanTime   time.Duration
 	ExecTime   time.Duration
 	// Rows is the result row count.

@@ -59,9 +59,11 @@ type Stats struct {
 	BlocksSkipped int64 `json:"blocks_skipped"`
 	RowsScanned   int64 `json:"rows_scanned"`
 	NetBytes      int64 `json:"net_bytes"`
-	// QueueMillis is WLM queue wait; PlanMillis is planning time.
+	// QueueMillis is WLM queue wait; PlanMillis is planning time; Queue is
+	// the WLM queue that admitted the query ("" when WLM was bypassed).
 	QueueMillis float64 `json:"queue_ms"`
 	PlanMillis  float64 `json:"plan_ms"`
+	Queue       string  `json:"queue,omitempty"`
 }
 
 // SessionExecutor is one connection's execution context: statements run
@@ -220,6 +222,7 @@ func (s *Server) handle(ctx context.Context, sess SessionExecutor, req Request) 
 		NetBytes:      res.Stats.NetBytes,
 		QueueMillis:   float64(res.Stats.QueueWait.Microseconds()) / 1e3,
 		PlanMillis:    float64(res.Stats.PlanTime.Microseconds()) / 1e3,
+		Queue:         res.Stats.Queue,
 	}
 	return resp
 }

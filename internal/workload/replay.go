@@ -1,0 +1,247 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"redshift/internal/core"
+	"redshift/internal/faults"
+	"redshift/internal/wire"
+)
+
+// RunStats is what one replayed statement cost.
+type RunStats struct {
+	// Queue is the WLM queue that admitted the statement ("" when WLM was
+	// bypassed: writes, maintenance, cache hits).
+	Queue string
+	// Wait is the WLM queue wait.
+	Wait time.Duration
+	// Cached reports a result-cache hit.
+	Cached bool
+}
+
+// Runner executes one tenant session's statements.
+type Runner interface {
+	Run(ctx context.Context, sqlText string) (RunStats, error)
+	Close() error
+}
+
+// Opener builds one tenant session. Replay calls it TenantSpec.Sessions
+// times per tenant; the opener is responsible for routing (SET
+// query_group) so every statement the session runs lands in the tenant's
+// queue.
+type Opener func(t TenantSpec) (Runner, error)
+
+// Executor abstracts the session factories Replay can drive in-process:
+// *core.Database and redshift.Warehouse both satisfy it.
+type Executor interface {
+	NewSession() *core.Session
+}
+
+// SessionOpener replays through in-process sessions — the test batteries'
+// path (no sockets, no serialization).
+func SessionOpener(db Executor) Opener {
+	return func(t TenantSpec) (Runner, error) {
+		sess := db.NewSession()
+		if t.Queue != "" {
+			if _, err := sess.Execute(fmt.Sprintf(`SET query_group TO %s`, t.Queue)); err != nil {
+				sess.Close()
+				return nil, err
+			}
+		}
+		return &sessionRunner{sess: sess}, nil
+	}
+}
+
+type sessionRunner struct{ sess *core.Session }
+
+func (r *sessionRunner) Run(ctx context.Context, sqlText string) (RunStats, error) {
+	res, err := r.sess.ExecuteContext(ctx, sqlText)
+	if err != nil {
+		return RunStats{}, err
+	}
+	return RunStats{Queue: res.Stats.Queue, Wait: res.Stats.QueueWait, Cached: res.Cached}, nil
+}
+
+func (r *sessionRunner) Close() error { r.sess.Close(); return nil }
+
+// WireOpener replays over the wire protocol against a live server — one
+// connection per tenant session, like real clients.
+func WireOpener(addr string) Opener {
+	return func(t TenantSpec) (Runner, error) {
+		c, err := wire.Dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		if t.Queue != "" {
+			resp, err := c.Query(fmt.Sprintf(`SET query_group TO %s`, t.Queue))
+			if err == nil && resp.Error != "" {
+				err = fmt.Errorf("workload: %s", resp.Error)
+			}
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+		}
+		return &wireRunner{c: c}, nil
+	}
+}
+
+type wireRunner struct{ c *wire.Client }
+
+func (r *wireRunner) Run(_ context.Context, sqlText string) (RunStats, error) {
+	resp, err := r.c.Query(sqlText)
+	if err != nil {
+		return RunStats{}, err
+	}
+	if resp.Error != "" {
+		err = fmt.Errorf("workload: %s", resp.Error)
+		if resp.Retryable {
+			err = faults.MarkRetryable(err)
+		}
+		return RunStats{}, err
+	}
+	var st RunStats
+	st.Cached = resp.Cached
+	if resp.Stats != nil {
+		st.Queue = resp.Stats.Queue
+		st.Wait = time.Duration(resp.Stats.QueueMillis * float64(time.Millisecond))
+	}
+	return st, nil
+}
+
+func (r *wireRunner) Close() error { return r.c.Close() }
+
+// ReplayOptions tunes the driver.
+type ReplayOptions struct {
+	// Pace > 0 replays open-loop: each event fires when its synthesized
+	// offset (divided by Pace) elapses, whatever earlier statements are
+	// still doing — so 2.0 replays a 10s trace in 5s. Pace == 0 replays
+	// closed-loop: each tenant session issues its statements back-to-back
+	// as fast as the engine admits them (what the saturation batteries
+	// want — queue pressure is guaranteed, wall-clock timing is not load-
+	// bearing).
+	Pace float64
+	// Retries re-issues a statement that failed with a retryable error up
+	// to this many times (counted in the report).
+	Retries int
+	// SkipSetup skips the stream's Setup statements (the schema is already
+	// loaded — twin runs reuse one warehouse).
+	SkipSetup bool
+}
+
+// Replay runs a synthesized stream: Setup once through its own session,
+// then every event through its tenant's session pool, collecting one
+// Sample per statement. Events within a tenant keep their synthesized
+// order of dispatch; across tenants, ordering is whatever concurrency
+// yields — that's the point.
+func Replay(ctx context.Context, s *Stream, open Opener, w Workload, opts ReplayOptions) (*Report, error) {
+	if !opts.SkipSetup && len(s.Setup) > 0 {
+		r, err := open(TenantSpec{Name: "~setup"})
+		if err != nil {
+			return nil, err
+		}
+		for _, stmt := range s.Setup {
+			if _, err := r.Run(ctx, stmt); err != nil {
+				r.Close()
+				return nil, fmt.Errorf("workload: setup %q: %w", stmt, err)
+			}
+		}
+		r.Close()
+	}
+
+	rep := &Report{Seed: s.Seed}
+	var mu sync.Mutex // guards rep.Samples
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	var openErr error
+	var openMu sync.Mutex
+	for _, t := range w.Tenants {
+		var events []Event
+		for _, e := range s.Events {
+			if e.Tenant == t.Name {
+				events = append(events, e)
+			}
+		}
+		sessions := t.Sessions
+		if sessions <= 0 {
+			sessions = 1
+		}
+		// One shared ordered feed per tenant: sessions pull the next event
+		// as they free up, preserving dispatch order within the tenant.
+		feed := make(chan Event)
+		go func(events []Event) {
+			defer close(feed)
+			for _, e := range events {
+				if opts.Pace > 0 {
+					due := time.Duration(float64(e.Offset) / opts.Pace)
+					if d := due - time.Since(start); d > 0 {
+						select {
+						case <-time.After(d):
+						case <-ctx.Done():
+							return
+						}
+					}
+				}
+				select {
+				case feed <- e:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}(events)
+		for i := 0; i < sessions; i++ {
+			r, err := open(t)
+			if err != nil {
+				openMu.Lock()
+				if openErr == nil {
+					openErr = err
+				}
+				openMu.Unlock()
+				break
+			}
+			wg.Add(1)
+			go func(r Runner) {
+				defer wg.Done()
+				defer r.Close()
+				for e := range feed {
+					sample := runOne(ctx, r, e, opts.Retries)
+					mu.Lock()
+					rep.Samples = append(rep.Samples, sample)
+					mu.Unlock()
+				}
+			}(r)
+		}
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+	if openErr != nil {
+		return rep, openErr
+	}
+	return rep, ctx.Err()
+}
+
+// runOne executes one event with the retry budget and folds the outcome
+// into a sample.
+func runOne(ctx context.Context, r Runner, e Event, retries int) Sample {
+	sample := Sample{Tenant: e.Tenant, Kind: e.Kind}
+	begin := time.Now()
+	for {
+		st, err := r.Run(ctx, e.SQL)
+		if err == nil {
+			sample.Queue, sample.Wait, sample.Cached = st.Queue, st.Wait, st.Cached
+			break
+		}
+		if faults.Retryable(err) && sample.Retries < retries && ctx.Err() == nil {
+			sample.Retries++
+			continue
+		}
+		sample.Error = err.Error()
+		break
+	}
+	sample.Latency = time.Since(begin)
+	return sample
+}

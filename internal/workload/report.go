@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Sample is one replayed statement's outcome.
+type Sample struct {
+	Tenant string
+	Kind   string
+	// Queue is the WLM queue that admitted the statement ("" = bypassed).
+	Queue string
+	// Latency is client-observed wall time including retries; Wait is the
+	// WLM queue wait inside it.
+	Latency time.Duration
+	Wait    time.Duration
+	Cached  bool
+	Retries int
+	Error   string // "" on success
+}
+
+// Report is a replay's outcome: the raw samples plus aggregation helpers.
+type Report struct {
+	Seed    int64
+	Elapsed time.Duration
+	Samples []Sample
+}
+
+// Dist summarizes one sample group.
+type Dist struct {
+	Count     int
+	Errors    int
+	Retries   int
+	CacheHits int
+	P50       time.Duration
+	P90       time.Duration
+	P99       time.Duration
+	Max       time.Duration
+	AvgWait   time.Duration
+	// Queues counts admissions per WLM queue (cache hits and bypassed
+	// statements land under "").
+	Queues map[string]int
+}
+
+// Group aggregates the samples matching tenant and kind ("" matches any).
+// Quantiles are over successful statements' latencies.
+func (r *Report) Group(tenant, kind string) Dist {
+	d := Dist{Queues: map[string]int{}}
+	var lats []time.Duration
+	var waitSum time.Duration
+	for _, s := range r.Samples {
+		if tenant != "" && s.Tenant != tenant {
+			continue
+		}
+		if kind != "" && s.Kind != kind {
+			continue
+		}
+		d.Count++
+		d.Retries += s.Retries
+		d.Queues[s.Queue]++
+		if s.Cached {
+			d.CacheHits++
+		}
+		if s.Error != "" {
+			d.Errors++
+			continue
+		}
+		lats = append(lats, s.Latency)
+		waitSum += s.Wait
+	}
+	if len(lats) == 0 {
+		return d
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	d.P50 = quantile(lats, 0.50)
+	d.P90 = quantile(lats, 0.90)
+	d.P99 = quantile(lats, 0.99)
+	d.Max = lats[len(lats)-1]
+	d.AvgWait = waitSum / time.Duration(len(lats))
+	return d
+}
+
+// quantile reads the q-th quantile from an ascending-sorted sample set
+// (nearest-rank).
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// FirstError returns the first recorded statement error ("" when the whole
+// replay succeeded).
+func (r *Report) FirstError() string {
+	for _, s := range r.Samples {
+		if s.Error != "" {
+			return fmt.Sprintf("%s/%s: %s", s.Tenant, s.Kind, s.Error)
+		}
+	}
+	return ""
+}
+
+// String renders a per-(tenant, kind) summary table.
+func (r *Report) String() string {
+	type key struct{ tenant, kind string }
+	seen := map[key]bool{}
+	var keys []key
+	for _, s := range r.Samples {
+		k := key{s.Tenant, s.Kind}
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].tenant != keys[j].tenant {
+			return keys[i].tenant < keys[j].tenant
+		}
+		return keys[i].kind < keys[j].kind
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload replay: seed=%d elapsed=%v statements=%d\n", r.Seed, r.Elapsed.Round(time.Millisecond), len(r.Samples))
+	fmt.Fprintf(&b, "%-12s %-12s %6s %6s %6s %6s %10s %10s %10s %10s\n",
+		"tenant", "kind", "n", "err", "retry", "hits", "p50", "p99", "max", "avg_wait")
+	for _, k := range keys {
+		d := r.Group(k.tenant, k.kind)
+		fmt.Fprintf(&b, "%-12s %-12s %6d %6d %6d %6d %10v %10v %10v %10v\n",
+			k.tenant, k.kind, d.Count, d.Errors, d.Retries, d.CacheHits,
+			d.P50.Round(time.Microsecond), d.P99.Round(time.Microsecond),
+			d.Max.Round(time.Microsecond), d.AvgWait.Round(time.Microsecond))
+		var queues []string
+		for q, n := range d.Queues {
+			if q == "" {
+				q = "(bypass)"
+			}
+			queues = append(queues, fmt.Sprintf("%s:%d", q, n))
+		}
+		sort.Strings(queues)
+		fmt.Fprintf(&b, "%-12s %-12s   queues: %s\n", "", "", strings.Join(queues, " "))
+	}
+	return b.String()
+}

@@ -77,8 +77,13 @@ type Options struct {
 	// CohortSize overrides the replication cohort size (default 2).
 	CohortSize int
 	// QuerySlots bounds concurrent SELECTs via the workload manager
-	// (0 = unlimited).
+	// (0 = unlimited). Ignored when WLMQueues is set.
 	QuerySlots int
+	// WLMQueues configures named WLM queues — per-queue slots, memory
+	// shares, priorities, an EstRows-thresholded short-query fast lane and
+	// wait timeouts. Sessions route with SET query_group TO <name>; empty
+	// means one default queue of QuerySlots. See core.QueueSpec.
+	WLMQueues []QueueSpec
 	// BlockCacheBytes budgets the per-cluster decoded-block buffer cache:
 	// 0 keeps the default (64 MiB), negative disables caching (ablations
 	// and allocation-sensitive benchmarks use that).
@@ -136,6 +141,14 @@ type Result = core.Result
 // Session is one connection's execution context: prepared statements and
 // SET variables are scoped to it.
 type Session = core.Session
+
+// QueueSpec configures one named WLM queue (see core.QueueSpec).
+type QueueSpec = core.QueueSpec
+
+// ParseWLMQueues parses the textual queue-spec syntax the server's
+// -wlm-queues flag uses, e.g.
+// "express=2,short=20000;dash=4,prio=5;etl=2,mem=50%,timeout=60s".
+func ParseWLMQueues(s string) ([]QueueSpec, error) { return core.ParseQueueSpecs(s) }
 
 // Row is one result tuple.
 type Row = types.Row
@@ -337,6 +350,7 @@ func (w *Warehouse) coreConfig(nodes int) core.Config {
 		Plan:               planOpts,
 		DataStore:          w.dataLake,
 		QuerySlots:         w.opts.QuerySlots,
+		WLMQueues:          w.opts.WLMQueues,
 		Metrics:            w.metrics,
 		BlockCacheBytes:    w.opts.BlockCacheBytes,
 		Faults:             w.inj,
